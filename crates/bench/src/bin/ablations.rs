@@ -1,0 +1,107 @@
+//! Ablation studies for PapyrusKV's design choices (not a paper figure —
+//! the complementary experiments DESIGN.md calls out): bloom filters,
+//! merge-compaction trigger, local-cache capacity, and flush-queue depth.
+//!
+//! Each ablation runs the same fill + mixed-read workload on Summitdev's
+//! profile with one knob varied, reporting get/put virtual-time throughput
+//! and storage amplification.
+
+use papyrus_bench::{random_keys, value_of, BenchArgs, PhaseResult, RankPhase};
+use papyrus_mpi::{World, WorldConfig};
+use papyrus_nvm::SystemProfile;
+use papyruskv::{BarrierLevel, Context, OpenFlags, Options, Platform};
+
+struct AblationOut {
+    get: PhaseResult,
+    sstables: usize,
+    hit_ratio: f64,
+}
+
+fn run(profile: &SystemProfile, ranks: usize, iters: usize, opt: Options, seed: u64) -> AblationOut {
+    let platform = Platform::new(profile.clone(), ranks);
+    let per_rank = World::run(WorldConfig::new(ranks, profile.net.clone()), move |rank| {
+        let ctx = Context::init(rank.clone(), platform.clone(), "nvm://ablate").unwrap();
+        let db = ctx.open("db", OpenFlags::create(), opt.clone()).unwrap();
+        let keys = random_keys(iters, 16, seed + rank.rank() as u64);
+        let value = value_of(32 << 10, b'v');
+        for k in &keys {
+            db.put(k, &value).unwrap();
+        }
+        db.barrier(BarrierLevel::SsTable).unwrap();
+        let t0 = ctx.now();
+        // Two passes: the second exercises the caches; plus misses.
+        for pass in 0..2 {
+            for k in &keys {
+                let _ = db.get(k).unwrap();
+            }
+            if pass == 0 {
+                for k in &keys {
+                    let mut missing = k.clone();
+                    missing.push(b'!');
+                    let _ = db.get(&missing); // definite miss: bloom's case
+                }
+            }
+        }
+        let t1 = ctx.now();
+        let ssts = db.sstable_count();
+        let (h, m) = (db.get_stats().hits(), db.get_stats().misses());
+        db.close().unwrap();
+        ctx.finalize().unwrap();
+        (
+            RankPhase { ops: 3 * iters as u64, bytes: (3 * iters * (16 + (32 << 10))) as u64, ns: t1 - t0 },
+            ssts,
+            if h + m == 0 { 0.0 } else { h as f64 / (h + m) as f64 },
+        )
+    });
+    AblationOut {
+        get: PhaseResult::aggregate(&per_rank.iter().map(|r| r.0).collect::<Vec<_>>()),
+        sstables: per_rank.iter().map(|r| r.1).max().unwrap_or(0),
+        hit_ratio: per_rank.iter().map(|r| r.2).sum::<f64>() / per_rank.len() as f64,
+    }
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let profile = SystemProfile::summitdev();
+    let ranks = 8;
+    let iters = args.iters_or(60, 1000);
+    let base = || Options::default().with_memtable_capacity(256 << 10);
+
+    println!("# Ablations (summitdev profile, {ranks} ranks, {iters} iters/rank, 32KB values)");
+    println!("# workload: fill, barrier(SSTABLE), then hit+miss read passes\n");
+
+    println!("## Bloom filters (skip-table test on definite misses)");
+    println!("{:>10} {:>12} {:>10}", "bloom", "get-MBPS", "ssts");
+    for on in [true, false] {
+        let out = run(&profile, ranks, iters, base().with_bloom_filter(on), args.seed);
+        println!("{:>10} {:>12.1} {:>10}", on, out.get.mbps(), out.sstables);
+    }
+
+    println!("\n## Merge-compaction trigger (SSID multiple; 0 = off)");
+    println!("{:>10} {:>12} {:>10}", "trigger", "get-MBPS", "ssts");
+    for trigger in [0u64, 2, 4, 8, 16] {
+        let mut opt = base();
+        opt.compaction_trigger = trigger;
+        let out = run(&profile, ranks, iters, opt, args.seed);
+        println!("{:>10} {:>12.1} {:>10}", trigger, out.get.mbps(), out.sstables);
+    }
+
+    println!("\n## Local cache capacity (repeat-read hit ratio)");
+    println!("{:>10} {:>12} {:>10}", "capacity", "get-MBPS", "hit-ratio");
+    for cap in [0u64, 256 << 10, 4 << 20, 64 << 20] {
+        let mut opt = base();
+        opt.local_cache = cap > 0;
+        opt.local_cache_capacity = cap.max(1);
+        let out = run(&profile, ranks, iters, opt, args.seed);
+        println!("{:>10} {:>12.1} {:>10.3}", cap >> 10, out.get.mbps(), out.hit_ratio);
+    }
+
+    println!("\n## Flush-queue depth (put-side backpressure)");
+    println!("{:>10} {:>12}", "depth", "get-MBPS");
+    for depth in [1usize, 2, 4, 16] {
+        let mut opt = base();
+        opt.flush_queue_len = depth;
+        let out = run(&profile, ranks, iters, opt, args.seed);
+        println!("{:>10} {:>12.1}", depth, out.get.mbps());
+    }
+}

@@ -1,0 +1,65 @@
+//! Diagnostic: per-rank phase-time distribution for the Figure 11 workload
+//! — prints per-rank virtual times so scaling anomalies (stragglers,
+//! contention) are visible. Not part of the paper reproduction.
+
+use papyrus_bench::{random_keys, value_of, BenchArgs};
+use papyrus_mpi::{World, WorldConfig};
+use papyrus_nvm::SystemProfile;
+use papyruskv::{Consistency, Context, OpenFlags, Options, Platform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let profile = SystemProfile::summitdev();
+    let iters = args.iters_or(30, 1000);
+    for &n in &args.ranks_or(&[2, 4, 8, 16], &[2, 4, 8, 16, 32, 64]) {
+        let platform = Platform::new(profile.clone(), n);
+        let seed = args.seed;
+        let net = if std::env::var("DIAG_FREE_NET").is_ok() {
+            papyrus_simtime::NetModel::free()
+        } else {
+            profile.net.clone()
+        };
+        let times = World::run(WorldConfig::new(n, net), move |rank| {
+            let ctx = Context::init(rank.clone(), platform.clone(), "nvm://diag").unwrap();
+            let opt = Options::default()
+                .with_memtable_capacity(1 << 30)
+                .with_consistency(Consistency::Sequential);
+            let db = ctx.open("diag", OpenFlags::create(), opt).unwrap();
+            let keys = random_keys(iters, 16, seed + rank.rank() as u64);
+            let value = value_of(8, b'v');
+            for k in &keys {
+                db.put(k, &value).unwrap();
+            }
+            db.barrier(papyruskv::BarrierLevel::MemTable).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed ^ (rank.rank() as u64) << 32);
+            let t0 = ctx.now();
+            let mut put_ns = 0u64;
+            let mut get_ns = 0u64;
+            for k in &keys {
+                let s = ctx.now();
+                if rng.gen_range(0..100) < 50 {
+                    db.put(k, &value).unwrap();
+                    put_ns += ctx.now() - s;
+                } else {
+                    let _ = db.get(k).unwrap();
+                    get_ns += ctx.now() - s;
+                }
+            }
+            let total = ctx.now() - t0;
+            db.close().unwrap();
+            ctx.finalize().unwrap();
+            (total, put_ns, get_ns)
+        });
+        let max = times.iter().map(|t| t.0).max().unwrap();
+        let min = times.iter().map(|t| t.0).min().unwrap();
+        let avg: u64 = times.iter().map(|t| t.0).sum::<u64>() / n as u64;
+        let put: u64 = times.iter().map(|t| t.1).sum::<u64>() / n as u64;
+        let get: u64 = times.iter().map(|t| t.2).sum::<u64>() / n as u64;
+        println!(
+            "n={n:>3} phase max={:>9}ns min={:>9}ns avg={:>9}ns  avg-put={put}ns avg-get={get}ns per-op-max={}ns",
+            max, min, avg, max / iters as u64
+        );
+    }
+}

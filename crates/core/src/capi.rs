@@ -1,0 +1,513 @@
+//! C-API compatibility layer: the exact `papyruskv_*` surface of the
+//! paper's Table 1, with integer handles, flag words, and 32-bit return
+//! codes — a porting aid for applications written against the original C
+//! library (each call forwards to the idiomatic Rust API).
+//!
+//! Handles are per-rank: a [`PapyrusKv`] owns the rank's context plus the
+//! descriptor tables for databases and events. Functions return
+//! [`PAPYRUSKV_SUCCESS`] or a negative error code, writing results through
+//! out-parameters, exactly like the C signatures.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use papyrus_mpi::RankCtx;
+
+use crate::db::Db;
+use crate::error::Error;
+use crate::options::{BarrierLevel, Consistency, OpenFlags, Options, Protection};
+use crate::runtime::{Context, Event, Platform};
+
+/// Operation completed successfully.
+pub const PAPYRUSKV_SUCCESS: i32 = 0;
+/// Bad database descriptor (or use after close/finalize).
+pub const PAPYRUSKV_INVALID_DB: i32 = -1;
+/// Key not found (or deleted).
+pub const PAPYRUSKV_NOT_FOUND: i32 = -2;
+/// Write rejected by the protection attribute.
+pub const PAPYRUSKV_PROTECTED: i32 = -3;
+/// Malformed argument.
+pub const PAPYRUSKV_INVALID_ARGUMENT: i32 = -4;
+/// Missing or unparseable snapshot.
+pub const PAPYRUSKV_INVALID_SNAPSHOT: i32 = -5;
+/// Internal runtime failure.
+pub const PAPYRUSKV_INTERNAL: i32 = -6;
+/// Bad event descriptor.
+pub const PAPYRUSKV_INVALID_EVENT: i32 = -7;
+
+/// `papyruskv_open` flag: create the database if missing.
+pub const PAPYRUSKV_CREATE: i32 = 0x1;
+/// `papyruskv_open` flag: fail if the database already exists.
+pub const PAPYRUSKV_EXCL: i32 = 0x2;
+
+/// Sequential consistency mode (`papyruskv_consistency`).
+pub const PAPYRUSKV_SEQUENTIAL: i32 = 1;
+/// Relaxed consistency mode.
+pub const PAPYRUSKV_RELAXED: i32 = 2;
+
+/// Read-write protection (`papyruskv_protect`).
+pub const PAPYRUSKV_RDWR: i32 = 0;
+/// Write-only protection.
+pub const PAPYRUSKV_WRONLY: i32 = 1;
+/// Read-only protection.
+pub const PAPYRUSKV_RDONLY: i32 = 2;
+
+/// `papyruskv_barrier` level: migrate remote data only.
+pub const PAPYRUSKV_MEMTABLE: i32 = 0;
+/// `papyruskv_barrier` level: additionally flush everything to SSTables.
+pub const PAPYRUSKV_SSTABLE: i32 = 1;
+
+/// The C `papyruskv_option_t`: database configuration knobs.
+#[derive(Clone, Default)]
+#[allow(non_camel_case_types)]
+pub struct papyruskv_option_t {
+    /// Expected key length hint (advisory in this implementation).
+    pub keylen: usize,
+    /// Expected value length hint (advisory).
+    pub vallen: usize,
+    /// MemTable capacity in bytes (0 = default).
+    pub memtable_size: u64,
+    /// Local cache capacity in bytes (0 = default).
+    pub cache_size: u64,
+    /// Custom hash function (the §2.4 load-balancing hook).
+    pub hash: Option<crate::hashfn::HashFn>,
+}
+
+/// Database descriptor (`papyruskv_db_t`).
+pub type papyruskv_db_t = i32;
+/// Event descriptor (`papyruskv_event_t`).
+pub type papyruskv_event_t = i32;
+
+fn code_of(e: &Error) -> i32 {
+    e.code()
+}
+
+/// Per-rank C-API state: the context plus descriptor tables.
+pub struct PapyrusKv {
+    ctx: Context,
+    dbs: Mutex<Vec<Option<Db>>>,
+    events: Mutex<Vec<Option<Event>>>,
+}
+
+impl PapyrusKv {
+    /// `papyruskv_init(&argc, &argv, repository)`. Collective.
+    pub fn papyruskv_init(
+        rank: RankCtx,
+        platform: Arc<Platform>,
+        repository: &str,
+    ) -> Result<PapyrusKv, i32> {
+        match Context::init(rank, platform, repository) {
+            Ok(ctx) => Ok(PapyrusKv {
+                ctx,
+                dbs: Mutex::new(Vec::new()),
+                events: Mutex::new(Vec::new()),
+            }),
+            Err(e) => Err(code_of(&e)),
+        }
+    }
+
+    /// `papyruskv_finalize()`. Collective.
+    pub fn papyruskv_finalize(&self) -> i32 {
+        self.dbs.lock().iter_mut().for_each(|d| {
+            d.take();
+        });
+        match self.ctx.finalize() {
+            Ok(()) => PAPYRUSKV_SUCCESS,
+            Err(e) => code_of(&e),
+        }
+    }
+
+    /// The underlying idiomatic context (escape hatch for mixed code).
+    pub fn context(&self) -> &Context {
+        &self.ctx
+    }
+
+    fn with_db<T>(&self, db: papyruskv_db_t, f: impl FnOnce(&Db) -> Result<T, i32>) -> Result<T, i32> {
+        let guard = self.dbs.lock();
+        match guard.get(db as usize).and_then(Option::as_ref) {
+            Some(handle) => {
+                let handle = handle.clone();
+                drop(guard);
+                f(&handle)
+            }
+            None => Err(PAPYRUSKV_INVALID_DB),
+        }
+    }
+
+    fn register_event(&self, ev: Event) -> papyruskv_event_t {
+        let mut events = self.events.lock();
+        events.push(Some(ev));
+        (events.len() - 1) as papyruskv_event_t
+    }
+
+    /// `papyruskv_open(name, flags, opt, &db)`. Collective.
+    pub fn papyruskv_open(
+        &self,
+        name: &str,
+        flags: i32,
+        opt: Option<&papyruskv_option_t>,
+        db_out: &mut papyruskv_db_t,
+    ) -> i32 {
+        let open_flags = OpenFlags {
+            create: flags & PAPYRUSKV_CREATE != 0,
+            exclusive: flags & PAPYRUSKV_EXCL != 0,
+        };
+        let mut options = Options::default();
+        if let Some(o) = opt {
+            if o.memtable_size > 0 {
+                options.memtable_capacity = o.memtable_size;
+                options.remote_memtable_capacity = o.memtable_size;
+            }
+            if o.cache_size > 0 {
+                options.local_cache_capacity = o.cache_size;
+                options.remote_cache_capacity = o.cache_size;
+            }
+            options.custom_hash = o.hash.clone();
+        }
+        match self.ctx.open(name, open_flags, options) {
+            Ok(handle) => {
+                let mut dbs = self.dbs.lock();
+                dbs.push(Some(handle));
+                *db_out = (dbs.len() - 1) as papyruskv_db_t;
+                PAPYRUSKV_SUCCESS
+            }
+            Err(e) => code_of(&e),
+        }
+    }
+
+    /// `papyruskv_close(db)`. Collective.
+    pub fn papyruskv_close(&self, db: papyruskv_db_t) -> i32 {
+        let res = self.with_db(db, |d| d.close().map_err(|e| code_of(&e)));
+        if res.is_ok() {
+            self.dbs.lock()[db as usize] = None;
+        }
+        res.err().unwrap_or(PAPYRUSKV_SUCCESS)
+    }
+
+    /// `papyruskv_put(db, key, keylen, value, valuelen)`.
+    pub fn papyruskv_put(&self, db: papyruskv_db_t, key: &[u8], value: &[u8]) -> i32 {
+        self.with_db(db, |d| d.put(key, value).map_err(|e| code_of(&e)))
+            .err()
+            .unwrap_or(PAPYRUSKV_SUCCESS)
+    }
+
+    /// `papyruskv_get(db, key, keylen, &value, &valuelen)`: on success the
+    /// value is written into `value_out` ("PapyrusKV allocates a new heap
+    /// region from the PapyrusKV memory pool" — here: the `Vec` is the
+    /// pool allocation, freed by `papyruskv_free`, i.e. `drop`).
+    pub fn papyruskv_get(&self, db: papyruskv_db_t, key: &[u8], value_out: &mut Vec<u8>) -> i32 {
+        match self.with_db(db, |d| d.get(key).map_err(|e| code_of(&e))) {
+            Ok(v) => {
+                value_out.clear();
+                value_out.extend_from_slice(&v);
+                PAPYRUSKV_SUCCESS
+            }
+            Err(code) => code,
+        }
+    }
+
+    /// `papyruskv_delete(db, key, keylen)`.
+    pub fn papyruskv_delete(&self, db: papyruskv_db_t, key: &[u8]) -> i32 {
+        self.with_db(db, |d| d.delete(key).map_err(|e| code_of(&e)))
+            .err()
+            .unwrap_or(PAPYRUSKV_SUCCESS)
+    }
+
+    /// `papyruskv_free(&value)`: release a value buffer. (A no-op beyond
+    /// dropping — ownership-based memory management replaces the pool.)
+    pub fn papyruskv_free(&self, value: &mut Vec<u8>) -> i32 {
+        value.clear();
+        value.shrink_to_fit();
+        PAPYRUSKV_SUCCESS
+    }
+
+    /// `papyruskv_signal_notify(signum, ranks, count)`.
+    pub fn papyruskv_signal_notify(&self, signum: u32, ranks: &[usize]) -> i32 {
+        match self.ctx.signal_notify(signum, ranks) {
+            Ok(()) => PAPYRUSKV_SUCCESS,
+            Err(e) => code_of(&e),
+        }
+    }
+
+    /// `papyruskv_signal_wait(signum, ranks, count)`.
+    pub fn papyruskv_signal_wait(&self, signum: u32, ranks: &[usize]) -> i32 {
+        match self.ctx.signal_wait(signum, ranks) {
+            Ok(()) => PAPYRUSKV_SUCCESS,
+            Err(e) => code_of(&e),
+        }
+    }
+
+    /// `papyruskv_fence(db)`.
+    pub fn papyruskv_fence(&self, db: papyruskv_db_t) -> i32 {
+        self.with_db(db, |d| d.fence().map_err(|e| code_of(&e)))
+            .err()
+            .unwrap_or(PAPYRUSKV_SUCCESS)
+    }
+
+    /// `papyruskv_barrier(db, level)`. Collective.
+    pub fn papyruskv_barrier(&self, db: papyruskv_db_t, level: i32) -> i32 {
+        let level = match level {
+            PAPYRUSKV_MEMTABLE => BarrierLevel::MemTable,
+            PAPYRUSKV_SSTABLE => BarrierLevel::SsTable,
+            _ => return PAPYRUSKV_INVALID_ARGUMENT,
+        };
+        self.with_db(db, |d| d.barrier(level).map_err(|e| code_of(&e)))
+            .err()
+            .unwrap_or(PAPYRUSKV_SUCCESS)
+    }
+
+    /// `papyruskv_consistency(db, mode)`. Collective.
+    pub fn papyruskv_consistency(&self, db: papyruskv_db_t, mode: i32) -> i32 {
+        let mode = match mode {
+            PAPYRUSKV_SEQUENTIAL => Consistency::Sequential,
+            PAPYRUSKV_RELAXED => Consistency::Relaxed,
+            _ => return PAPYRUSKV_INVALID_ARGUMENT,
+        };
+        self.with_db(db, |d| d.set_consistency(mode).map_err(|e| code_of(&e)))
+            .err()
+            .unwrap_or(PAPYRUSKV_SUCCESS)
+    }
+
+    /// `papyruskv_protect(db, prot)`. Collective.
+    pub fn papyruskv_protect(&self, db: papyruskv_db_t, prot: i32) -> i32 {
+        let prot = match prot {
+            PAPYRUSKV_RDWR => Protection::ReadWrite,
+            PAPYRUSKV_WRONLY => Protection::WriteOnly,
+            PAPYRUSKV_RDONLY => Protection::ReadOnly,
+            _ => return PAPYRUSKV_INVALID_ARGUMENT,
+        };
+        self.with_db(db, |d| d.protect(prot).map_err(|e| code_of(&e)))
+            .err()
+            .unwrap_or(PAPYRUSKV_SUCCESS)
+    }
+
+    /// `papyruskv_checkpoint(db, path, &event)`. Collective; asynchronous
+    /// when `event_out` is provided, otherwise waits.
+    pub fn papyruskv_checkpoint(
+        &self,
+        db: papyruskv_db_t,
+        path: &str,
+        event_out: Option<&mut papyruskv_event_t>,
+    ) -> i32 {
+        match self.with_db(db, |d| d.checkpoint(path).map_err(|e| code_of(&e))) {
+            Ok(ev) => {
+                match event_out {
+                    Some(out) => *out = self.register_event(ev),
+                    None => {
+                        ev.wait();
+                    }
+                }
+                PAPYRUSKV_SUCCESS
+            }
+            Err(code) => code,
+        }
+    }
+
+    /// `papyruskv_restart(path, name, flags, opt, &db, &event)`. Collective.
+    pub fn papyruskv_restart(
+        &self,
+        path: &str,
+        name: &str,
+        flags: i32,
+        opt: Option<&papyruskv_option_t>,
+        db_out: &mut papyruskv_db_t,
+        event_out: Option<&mut papyruskv_event_t>,
+    ) -> i32 {
+        let open_flags = OpenFlags {
+            create: flags & PAPYRUSKV_CREATE != 0,
+            exclusive: flags & PAPYRUSKV_EXCL != 0,
+        };
+        let mut options = Options::default();
+        if let Some(o) = opt {
+            if o.memtable_size > 0 {
+                options.memtable_capacity = o.memtable_size;
+            }
+            options.custom_hash = o.hash.clone();
+        }
+        match self.ctx.restart(path, name, open_flags, options, false) {
+            Ok((handle, ev)) => {
+                let mut dbs = self.dbs.lock();
+                dbs.push(Some(handle));
+                *db_out = (dbs.len() - 1) as papyruskv_db_t;
+                drop(dbs);
+                match event_out {
+                    Some(out) => *out = self.register_event(ev),
+                    None => {
+                        ev.wait();
+                    }
+                }
+                PAPYRUSKV_SUCCESS
+            }
+            Err(e) => code_of(&e),
+        }
+    }
+
+    /// `papyruskv_destroy(db, &event)`. Collective.
+    pub fn papyruskv_destroy(
+        &self,
+        db: papyruskv_db_t,
+        event_out: Option<&mut papyruskv_event_t>,
+    ) -> i32 {
+        match self.with_db(db, |d| d.destroy().map_err(|e| code_of(&e))) {
+            Ok(ev) => {
+                self.dbs.lock()[db as usize] = None;
+                match event_out {
+                    Some(out) => *out = self.register_event(ev),
+                    None => {
+                        ev.wait();
+                    }
+                }
+                PAPYRUSKV_SUCCESS
+            }
+            Err(code) => code,
+        }
+    }
+
+    /// `papyruskv_wait(db, event)`.
+    pub fn papyruskv_wait(&self, _db: papyruskv_db_t, event: papyruskv_event_t) -> i32 {
+        let ev = {
+            let events = self.events.lock();
+            events.get(event as usize).and_then(Clone::clone)
+        };
+        match ev {
+            Some(ev) => {
+                ev.wait();
+                PAPYRUSKV_SUCCESS
+            }
+            None => PAPYRUSKV_INVALID_EVENT,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use papyrus_mpi::{World, WorldConfig};
+    use papyrus_nvm::SystemProfile;
+
+    #[test]
+    fn c_api_full_lifecycle() {
+        let platform = Platform::new(SystemProfile::test_profile(), 2);
+        World::run(WorldConfig::for_tests(2), move |rank| {
+            let me = rank.rank();
+            let pkv = PapyrusKv::papyruskv_init(rank, platform.clone(), "nvm://capi").unwrap();
+
+            let mut db: papyruskv_db_t = -1;
+            assert_eq!(pkv.papyruskv_open("db", PAPYRUSKV_CREATE, None, &mut db), PAPYRUSKV_SUCCESS);
+            assert!(db >= 0);
+
+            let key = format!("k{me}");
+            assert_eq!(pkv.papyruskv_put(db, key.as_bytes(), b"hello"), PAPYRUSKV_SUCCESS);
+            assert_eq!(pkv.papyruskv_barrier(db, PAPYRUSKV_MEMTABLE), PAPYRUSKV_SUCCESS);
+
+            let mut value = Vec::new();
+            for r in 0..2 {
+                assert_eq!(
+                    pkv.papyruskv_get(db, format!("k{r}").as_bytes(), &mut value),
+                    PAPYRUSKV_SUCCESS
+                );
+                assert_eq!(&value[..], b"hello");
+            }
+            assert_eq!(pkv.papyruskv_free(&mut value), PAPYRUSKV_SUCCESS);
+            assert!(value.is_empty());
+
+            // Relaxed consistency: close the read phase collectively before
+            // anyone deletes, or a fast rank's tombstone could race a slow
+            // rank's reads (which is legal divergence between sync points).
+            assert_eq!(pkv.papyruskv_barrier(db, PAPYRUSKV_MEMTABLE), PAPYRUSKV_SUCCESS);
+
+            assert_eq!(pkv.papyruskv_get(db, b"missing", &mut value), PAPYRUSKV_NOT_FOUND);
+            assert_eq!(pkv.papyruskv_delete(db, key.as_bytes()), PAPYRUSKV_SUCCESS);
+            assert_eq!(pkv.papyruskv_barrier(db, PAPYRUSKV_SSTABLE), PAPYRUSKV_SUCCESS);
+            assert_eq!(pkv.papyruskv_get(db, key.as_bytes(), &mut value), PAPYRUSKV_NOT_FOUND);
+
+            assert_eq!(pkv.papyruskv_consistency(db, PAPYRUSKV_SEQUENTIAL), PAPYRUSKV_SUCCESS);
+            assert_eq!(pkv.papyruskv_protect(db, PAPYRUSKV_RDONLY), PAPYRUSKV_SUCCESS);
+            assert_eq!(pkv.papyruskv_put(db, b"x", b"y"), PAPYRUSKV_PROTECTED);
+            assert_eq!(pkv.papyruskv_protect(db, PAPYRUSKV_RDWR), PAPYRUSKV_SUCCESS);
+
+            // Signals.
+            if me == 0 {
+                assert_eq!(pkv.papyruskv_signal_notify(3, &[1]), PAPYRUSKV_SUCCESS);
+            } else {
+                assert_eq!(pkv.papyruskv_signal_wait(3, &[0]), PAPYRUSKV_SUCCESS);
+            }
+
+            // Asynchronous checkpoint + wait.
+            let mut ev: papyruskv_event_t = -1;
+            assert_eq!(pkv.papyruskv_checkpoint(db, "snap/capi", Some(&mut ev)), PAPYRUSKV_SUCCESS);
+            assert_eq!(pkv.papyruskv_wait(db, ev), PAPYRUSKV_SUCCESS);
+            assert_eq!(pkv.papyruskv_wait(db, 999), PAPYRUSKV_INVALID_EVENT);
+
+            // Destroy, restart.
+            assert_eq!(pkv.papyruskv_destroy(db, None), PAPYRUSKV_SUCCESS);
+            assert_eq!(pkv.papyruskv_put(db, b"a", b"b"), PAPYRUSKV_INVALID_DB);
+
+            let mut db2: papyruskv_db_t = -1;
+            assert_eq!(
+                pkv.papyruskv_restart("snap/capi", "db", PAPYRUSKV_CREATE, None, &mut db2, None),
+                PAPYRUSKV_SUCCESS
+            );
+            assert_eq!(pkv.papyruskv_close(db2), PAPYRUSKV_SUCCESS);
+            assert_eq!(pkv.papyruskv_finalize(), PAPYRUSKV_SUCCESS);
+        });
+    }
+
+    #[test]
+    fn c_api_error_codes() {
+        let platform = Platform::new(SystemProfile::test_profile(), 1);
+        World::run(WorldConfig::for_tests(1), move |rank| {
+            let pkv = PapyrusKv::papyruskv_init(rank, platform.clone(), "nvm://capi-err").unwrap();
+            // Operations on bad descriptors.
+            assert_eq!(pkv.papyruskv_put(42, b"k", b"v"), PAPYRUSKV_INVALID_DB);
+            assert_eq!(pkv.papyruskv_close(42), PAPYRUSKV_INVALID_DB);
+            assert_eq!(pkv.papyruskv_fence(0), PAPYRUSKV_INVALID_DB);
+            // Bad flag/mode words.
+            let mut db: papyruskv_db_t = -1;
+            assert_eq!(pkv.papyruskv_open("db", PAPYRUSKV_CREATE, None, &mut db), PAPYRUSKV_SUCCESS);
+            assert_eq!(pkv.papyruskv_barrier(db, 99), PAPYRUSKV_INVALID_ARGUMENT);
+            assert_eq!(pkv.papyruskv_consistency(db, 99), PAPYRUSKV_INVALID_ARGUMENT);
+            assert_eq!(pkv.papyruskv_protect(db, 99), PAPYRUSKV_INVALID_ARGUMENT);
+            // Exclusive open of existing database.
+            pkv.papyruskv_put(db, b"k", b"v");
+            pkv.papyruskv_close(db);
+            let mut db2: papyruskv_db_t = -1;
+            assert_eq!(
+                pkv.papyruskv_open("db", PAPYRUSKV_CREATE | PAPYRUSKV_EXCL, None, &mut db2),
+                PAPYRUSKV_INVALID_ARGUMENT
+            );
+            // Restart from nowhere.
+            assert_eq!(
+                pkv.papyruskv_restart("nope", "db", PAPYRUSKV_CREATE, None, &mut db2, None),
+                PAPYRUSKV_INVALID_SNAPSHOT
+            );
+            assert_eq!(pkv.papyruskv_finalize(), PAPYRUSKV_SUCCESS);
+        });
+    }
+
+    #[test]
+    fn c_api_custom_hash_option() {
+        let platform = Platform::new(SystemProfile::test_profile(), 2);
+        World::run(WorldConfig::for_tests(2), move |rank| {
+            let pkv = PapyrusKv::papyruskv_init(rank, platform.clone(), "nvm://capi-hash").unwrap();
+            let opt = papyruskv_option_t {
+                keylen: 16,
+                vallen: 64,
+                memtable_size: 1 << 20,
+                cache_size: 1 << 16,
+                hash: Some(Arc::new(|_k: &[u8]| 1)), // everything on rank 1
+            };
+            let mut db: papyruskv_db_t = -1;
+            assert_eq!(
+                pkv.papyruskv_open("db", PAPYRUSKV_CREATE, Some(&opt), &mut db),
+                PAPYRUSKV_SUCCESS
+            );
+            pkv.papyruskv_put(db, b"anything", b"v");
+            pkv.papyruskv_barrier(db, PAPYRUSKV_MEMTABLE);
+            let mut value = Vec::new();
+            assert_eq!(pkv.papyruskv_get(db, b"anything", &mut value), PAPYRUSKV_SUCCESS);
+            pkv.papyruskv_close(db);
+            assert_eq!(pkv.papyruskv_finalize(), PAPYRUSKV_SUCCESS);
+        });
+    }
+}

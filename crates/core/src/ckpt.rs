@@ -1,0 +1,231 @@
+//! Persistence support: manifests, asynchronous checkpoint/restart, and
+//! restart with redistribution (paper §4).
+//!
+//! NVM scratch is trimmed at job end, so databases that must outlive a job
+//! are checkpointed to the parallel file system and restored — either
+//! verbatim (same rank count: the SSTables "can be reused as they are") or
+//! by re-putting every pair under the new hash distribution (different rank
+//! count).
+//!
+//! Snapshot layout on the PFS:
+//!
+//! ```text
+//! <dest>/<db>/META            nranks
+//! <dest>/<db>/r<k>/MANIFEST   next_ssid + live SSID list of rank k
+//! <dest>/<db>/r<k>/sst<id>.*  the SSTable triples
+//! ```
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use papyrus_nvm::NvmStore;
+use papyrus_simtime::SimNs;
+
+use crate::db::{barrier_inner, Db, DbInner};
+use crate::error::{Error, Result};
+use crate::options::{BarrierLevel, OpenFlags, Options};
+use crate::runtime::{CompactJob, Context, CtxInner, Event};
+use crate::sstable::{SstReader, Ssid};
+
+/// Write a rank manifest at `now`; returns the completion stamp.
+///
+/// Format: line 1 `next:<ssid>`, line 2 space-separated live SSIDs.
+pub(crate) fn write_manifest_at(
+    store: &NvmStore,
+    prefix: &str,
+    db: &str,
+    rank: usize,
+    next_ssid: Ssid,
+    live: &[Ssid],
+    now: SimNs,
+) -> SimNs {
+    let mut text = format!("next:{next_ssid}\n");
+    for (i, s) in live.iter().enumerate() {
+        if i > 0 {
+            text.push(' ');
+        }
+        text.push_str(&s.to_string());
+    }
+    text.push('\n');
+    store.put_at(&manifest_path(prefix, db, rank), Bytes::from(text), now)
+}
+
+/// Read a rank manifest; `None` if absent or unparseable.
+pub(crate) fn read_manifest(
+    store: &NvmStore,
+    prefix: &str,
+    db: &str,
+    rank: usize,
+) -> Option<(Ssid, Vec<Ssid>)> {
+    let data = store.backend().get_all(&manifest_path(prefix, db, rank))?;
+    let text = std::str::from_utf8(&data).ok()?;
+    let mut lines = text.lines();
+    let next = lines.next()?.strip_prefix("next:")?.trim().parse().ok()?;
+    let live = match lines.next() {
+        Some(line) => line
+            .split_whitespace()
+            .map(str::parse)
+            .collect::<std::result::Result<Vec<Ssid>, _>>()
+            .ok()?,
+        None => Vec::new(),
+    };
+    Some((next, live))
+}
+
+fn manifest_path(prefix: &str, db: &str, rank: usize) -> String {
+    format!("{prefix}/{db}/r{rank}/MANIFEST")
+}
+
+fn meta_path(prefix: &str, db: &str) -> String {
+    format!("{prefix}/{db}/META")
+}
+
+/// Start an asynchronous checkpoint (§4.2): barrier at SSTable level so the
+/// snapshot is entirely on NVM, then hand the SSTable set to the compaction
+/// thread for background transfer to the PFS.
+pub(crate) fn checkpoint(ctx: &Arc<CtxInner>, db: &Arc<DbInner>, dest: &str) -> Result<Event> {
+    let dest = dest.trim_matches('/').to_string();
+    if dest.is_empty() {
+        return Err(Error::InvalidArgument("empty checkpoint path"));
+    }
+    // "the runtime internally calls papyruskv_barrier() with the
+    // PAPYRUSKV_SSTABLE parameter" — after this, all MemTables are flushed.
+    barrier_inner(ctx, db, BarrierLevel::SsTable)?;
+    let snapshot: Vec<SstReader> = db.ssts.read().clone();
+    let event = Event::new(ctx.clock().clone());
+    ctx.compact_q.push(CompactJob::Checkpoint {
+        db: db.clone(),
+        dest,
+        snapshot,
+        event: event.clone(),
+        stamp: ctx.clock().now(),
+    });
+    // "After that, the MPI ranks continue their executions" — the caller
+    // holds an event and may keep updating the database (updates create new
+    // SSTables and cannot touch the snapshot).
+    Ok(event)
+}
+
+/// Compaction-thread body of the checkpoint: copy each snapshot SSTable
+/// NVM → PFS, then write this rank's snapshot manifest (and META on rank 0).
+/// Returns the virtual completion stamp.
+pub(crate) fn run_checkpoint_transfer(
+    ctx: &CtxInner,
+    db: &Arc<DbInner>,
+    dest: &str,
+    snapshot: &[SstReader],
+    stamp: SimNs,
+) -> SimNs {
+    let src_store = ctx.repo_store();
+    let pfs = ctx.platform.storage.pfs();
+    let me = ctx.rank.rank();
+    let mut t = stamp;
+    let mut ssids = Vec::with_capacity(snapshot.len());
+    for reader in snapshot {
+        ssids.push(reader.ssid());
+        for ext in ["data", "index", "bloom"] {
+            let src = format!("{}.{ext}", reader.base());
+            let dst = format!(
+                "{}/{}/r{me}/sst{:010}.{ext}",
+                dest,
+                db.name,
+                reader.ssid()
+            );
+            if let Some((bytes, read_done)) = src_store.read_all_at(&src, t) {
+                t = pfs.put_at(&dst, bytes, read_done);
+            }
+        }
+    }
+    ssids.sort_unstable();
+    t = write_manifest_at(pfs, dest, &db.name, me, db.next_ssid.load(std::sync::atomic::Ordering::SeqCst), &ssids, t);
+    if me == 0 {
+        t = pfs.put_at(
+            &meta_path(dest, &db.name),
+            Bytes::from(format!("{}\n", ctx.rank.size())),
+            t,
+        );
+    }
+    t
+}
+
+/// `papyruskv_restart` (§4.2). See [`Context::restart`].
+pub(crate) fn restart(
+    ctx: &Context,
+    path: &str,
+    name: &str,
+    flags: OpenFlags,
+    opt: Options,
+    force_redistribute: bool,
+) -> Result<(Db, Event)> {
+    let path = path.trim_matches('/').to_string();
+    let inner = &ctx.inner;
+    let pfs = inner.platform.storage.pfs();
+    let me = inner.rank.rank();
+    let n = inner.rank.size();
+
+    let meta = pfs
+        .backend()
+        .get_all(&meta_path(&path, name))
+        .ok_or_else(|| Error::InvalidSnapshot(format!("missing META under {path}/{name}")))?;
+    let old_n: usize = std::str::from_utf8(&meta)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .ok_or_else(|| Error::InvalidSnapshot("unparseable META".into()))?;
+
+    if old_n == n && !force_redistribute {
+        // Same rank count: "the SSTables in the snapshot can be reused as
+        // they are, without any additional file manipulation" — copy them
+        // back PFS → NVM and compose.
+        let dst_store = inner.repo_store();
+        let mut t = inner.clock().now();
+        let (next, ssids) = read_manifest(pfs, &path, name, me)
+            .ok_or_else(|| Error::InvalidSnapshot(format!("missing manifest for rank {me}")))?;
+        for &ssid in &ssids {
+            for ext in ["data", "index", "bloom"] {
+                let src = format!("{path}/{name}/r{me}/sst{ssid:010}.{ext}");
+                let dst = format!("{}/{name}/r{me}/sst{ssid:010}.{ext}", inner.repo.prefix);
+                if let Some((bytes, read_done)) = pfs.read_all_at(&src, t) {
+                    t = dst_store.put_at(&dst, bytes, read_done);
+                }
+            }
+        }
+        t = write_manifest_at(&dst_store, &inner.repo.prefix, name, me, next, &ssids, t);
+        // "When the file transfers complete, the runtime internally calls
+        // papyruskv_open() to compose the database."
+        let db = ctx.open(name, flags, opt)?;
+        Ok((db, Event::completed(inner.clock().clone(), t)))
+    } else {
+        // Restart with redistribution (Figure 5(c)): each rank takes a
+        // partition of the old ranks' SSTables and re-puts every pair; "the
+        // workload of put operations is partitioned across all the MPI
+        // ranks and executed in parallel".
+        let db = ctx.open(name, OpenFlags::create(), opt)?;
+        let mut t = inner.clock().now();
+        for old_rank in (me..old_n).step_by(n) {
+            let Some((_, ssids)) = read_manifest(pfs, &path, name, old_rank) else {
+                continue;
+            };
+            for ssid in ssids {
+                let base = format!("{path}/{name}/r{old_rank}/sst{ssid:010}");
+                let Some((reader, opened)) = SstReader::open_at(pfs, &base, ssid, t) else {
+                    continue;
+                };
+                t = opened;
+                let (entries, scanned) = reader.scan_all_at(t)?;
+                t = scanned;
+                inner.clock().merge(t);
+                for (key, entry) in entries {
+                    if entry.tombstone {
+                        db.delete(&key)?;
+                    } else {
+                        db.put(&key, &entry.value)?;
+                    }
+                }
+                t = inner.clock().now();
+            }
+        }
+        inner.clock().merge(t);
+        db.barrier(BarrierLevel::SsTable)?;
+        Ok((db.clone(), Event::completed(inner.clock().clone(), inner.clock().now())))
+    }
+}

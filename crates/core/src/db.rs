@@ -1,0 +1,980 @@
+//! The database object: put/get/delete, consistency control, storage
+//! groups, fence/barrier, protection attributes (paper §2-§3).
+//!
+//! Set `PKV_TRACE=1` in the environment to stream a per-event protocol
+//! trace (puts, migrations, handler ingests, fences, barrier marks, remote
+//! get decisions) to stderr — invaluable when debugging consistency
+//! interleavings across ranks.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex, RwLock};
+use papyrus_simtime::{Clock, OpStats, SimNs};
+
+use crate::ckpt;
+use crate::error::{Error, Result};
+use crate::hashfn::Distributor;
+use crate::lru::{CacheEntry, LruCache};
+use crate::memtable::{Entry, MemTable};
+use crate::msg::{self, tags, GetResp, KvRecord};
+use crate::options::{BarrierLevel, Consistency, OpenFlags, Options, Protection};
+use crate::runtime::{CompactJob, Context, CtxInner, Event, MigrateJob};
+use crate::sstable::{self, SstGet, SstReader, Ssid};
+
+macro_rules! pkv_trace {
+    ($($arg:tt)*) => {
+        if std::env::var_os("PKV_TRACE").is_some() {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+/// Mutable database attributes (changed by the collective
+/// `papyruskv_consistency` / `papyruskv_protect`).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DbState {
+    pub consistency: Consistency,
+    pub protection: Protection,
+}
+
+/// Condvar-guarded synchronisation state.
+pub(crate) struct DbSync {
+    /// Immutable local MemTables queued or being flushed.
+    pub pending_flushes: usize,
+    /// Immutable remote MemTables queued or being migrated.
+    pub migration_inflight: usize,
+    /// Barrier-mark bookkeeping: epoch -> (marks received, max stamp).
+    pub barrier_marks: HashMap<u64, (usize, SimNs)>,
+    /// Set by close; all subsequent operations fail with `InvalidDb`.
+    pub closed: bool,
+}
+
+/// Internal database representation shared by the application thread and
+/// the runtime's helper threads.
+pub struct DbInner {
+    pub(crate) id: u32,
+    pub(crate) name: String,
+    pub(crate) opt: Options,
+    pub(crate) state: RwLock<DbState>,
+    pub(crate) dist: Distributor,
+
+    pub(crate) local: RwLock<MemTable>,
+    pub(crate) imm_local: RwLock<Vec<Arc<MemTable>>>,
+    pub(crate) remote: Mutex<MemTable>,
+    pub(crate) imm_remote: RwLock<Vec<Arc<MemTable>>>,
+
+    pub(crate) local_cache: Mutex<LruCache>,
+    pub(crate) remote_cache: Mutex<LruCache>,
+
+    /// Live SSTables, ascending SSID.
+    pub(crate) ssts: RwLock<Vec<SstReader>>,
+    pub(crate) next_ssid: AtomicU64,
+
+    pub(crate) sync: Mutex<DbSync>,
+    pub(crate) sync_cv: Condvar,
+
+    /// Completion stamps of background work, reconciled at fences/barriers.
+    pub(crate) flush_backlog: Clock,
+    pub(crate) migrate_backlog: Clock,
+    pub(crate) ingest_backlog: Clock,
+
+    pub(crate) barrier_epoch: AtomicU64,
+
+    /// Cached readers for *other* ranks' SSTables in the shared storage
+    /// (storage-group fast path, §2.7). Keyed by (owner rank, SSID).
+    pub(crate) peer_readers: Mutex<HashMap<(usize, Ssid), SstReader>>,
+
+    /// Operation statistics.
+    pub(crate) put_stats: OpStats,
+    pub(crate) get_stats: OpStats,
+}
+
+/// Search result inside one storage level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Lookup {
+    Found(Bytes),
+    Tombstone,
+    Miss,
+}
+
+impl From<&Entry> for Lookup {
+    fn from(e: &Entry) -> Self {
+        if e.tombstone {
+            Lookup::Tombstone
+        } else {
+            Lookup::Found(e.value.clone())
+        }
+    }
+}
+
+impl DbInner {
+    /// Open or create (compose) the database. See [`Context::open`].
+    pub(crate) fn open(
+        ctx: &Arc<CtxInner>,
+        id: u32,
+        name: &str,
+        flags: OpenFlags,
+        opt: Options,
+    ) -> Result<Arc<DbInner>> {
+        let clock = ctx.clock();
+        let store = ctx.repo_store();
+        let me = ctx.rank.rank();
+        store.open(clock); // repository metadata touch
+
+        let manifest = ckpt::read_manifest(&store, &ctx.repo.prefix, name, me);
+        let (next_ssid, readers) = match manifest {
+            Some((next, ssids)) => {
+                if flags.exclusive {
+                    return Err(Error::InvalidArgument("database already exists"));
+                }
+                // Zero-copy compose (§4.1): empty MemTables + retained
+                // SSTables; only manifest/index/bloom metadata is read.
+                let mut readers = Vec::with_capacity(ssids.len());
+                for ssid in ssids {
+                    let base = sstable::sst_base(&ctx.repo.prefix, name, me, ssid);
+                    if let Some((r, done)) = SstReader::open_at(&store, &base, ssid, clock.now()) {
+                        clock.merge(done);
+                        readers.push(r);
+                    }
+                }
+                readers.sort_by_key(SstReader::ssid);
+                (next, readers)
+            }
+            None => {
+                if !flags.create {
+                    return Err(Error::NotFound);
+                }
+                (1, Vec::new())
+            }
+        };
+
+        let dist = Distributor::new(opt.custom_hash.clone(), ctx.rank.size());
+        let db = Arc::new(DbInner {
+            id,
+            name: name.to_string(),
+            state: RwLock::new(DbState { consistency: opt.consistency, protection: opt.protection }),
+            dist,
+            local: RwLock::new(MemTable::new()),
+            imm_local: RwLock::new(Vec::new()),
+            remote: Mutex::new(MemTable::new()),
+            imm_remote: RwLock::new(Vec::new()),
+            local_cache: Mutex::new(LruCache::new(opt.local_cache_capacity)),
+            remote_cache: Mutex::new(LruCache::new(opt.remote_cache_capacity)),
+            ssts: RwLock::new(readers),
+            next_ssid: AtomicU64::new(next_ssid),
+            sync: Mutex::new(DbSync {
+                pending_flushes: 0,
+                migration_inflight: 0,
+                barrier_marks: HashMap::new(),
+                closed: false,
+            }),
+            sync_cv: Condvar::new(),
+            flush_backlog: Clock::new(),
+            migrate_backlog: Clock::new(),
+            ingest_backlog: Clock::new(),
+            barrier_epoch: AtomicU64::new(0),
+            peer_readers: Mutex::new(HashMap::new()),
+            put_stats: OpStats::new(),
+            get_stats: OpStats::new(),
+            opt,
+        });
+        Ok(db)
+    }
+
+    fn check_open(&self) -> Result<()> {
+        if self.sync.lock().closed {
+            Err(Error::InvalidDb)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Live SSIDs, newest first (for SearchShared responses).
+    fn live_ssids_desc(&self) -> Vec<Ssid> {
+        let mut v: Vec<Ssid> = self.ssts.read().iter().map(SstReader::ssid).collect();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        v
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Write path
+// ---------------------------------------------------------------------------
+
+/// Insert an entry into the *local* stack of this rank (used by local puts
+/// and by the handler ingesting migrated / sync-put records).
+fn insert_local_entry(ctx: &CtxInner, db: &Arc<DbInner>, key: &[u8], entry: Entry, clock: &Clock) {
+    let prot = db.state.read().protection;
+    // DRAM cost of the tree insert + copy.
+    clock.advance(ctx.platform.profile.mem.op_ns((key.len() + entry.value.len()) as u64));
+    // "a stale cache entry that has the same key as the new key-value pair
+    // is evicted from the local cache" (§2.4) — skipped under WRONLY (§3.2).
+    if db.opt.local_cache && prot != Protection::WriteOnly {
+        db.local_cache.lock().invalidate(key);
+    }
+    let over_capacity = {
+        let mut local = db.local.write();
+        local.insert(key, entry);
+        local.bytes() >= db.opt.memtable_capacity
+    };
+    if over_capacity {
+        freeze_local(ctx, db, clock.now());
+    }
+}
+
+/// Freeze the local MemTable into the flushing queue (§2.4). Blocks while
+/// the fixed-size queue is full — the paper's DRAM/NVM backpressure.
+fn freeze_local(ctx: &CtxInner, db: &Arc<DbInner>, stamp: SimNs) {
+    {
+        let mut sync = db.sync.lock();
+        while sync.pending_flushes >= db.opt.flush_queue_len {
+            db.sync_cv.wait(&mut sync);
+        }
+        sync.pending_flushes += 1;
+    }
+    let frozen = {
+        let mut local = db.local.write();
+        if local.is_empty() {
+            let mut sync = db.sync.lock();
+            sync.pending_flushes -= 1;
+            db.sync_cv.notify_all();
+            return;
+        }
+        let frozen = Arc::new(local.freeze());
+        db.imm_local.write().push(frozen.clone());
+        frozen
+    };
+    ctx.compact_q.push(CompactJob::Flush { db: db.clone(), mt: frozen, stamp });
+}
+
+/// Freeze the remote MemTable into the migration queue (§2.4).
+fn freeze_remote(ctx: &CtxInner, db: &Arc<DbInner>, stamp: SimNs) {
+    {
+        let mut sync = db.sync.lock();
+        while sync.migration_inflight >= db.opt.flush_queue_len {
+            db.sync_cv.wait(&mut sync);
+        }
+        sync.migration_inflight += 1;
+    }
+    let frozen = {
+        let mut remote = db.remote.lock();
+        if remote.is_empty() {
+            let mut sync = db.sync.lock();
+            sync.migration_inflight -= 1;
+            db.sync_cv.notify_all();
+            return;
+        }
+        let frozen = Arc::new(remote.freeze());
+        db.imm_remote.write().push(frozen.clone());
+        frozen
+    };
+    ctx.migrate_q.push(MigrateJob::Migrate { db: db.clone(), mt: frozen, stamp });
+}
+
+/// Compaction-thread body for one flush job: build the SSTable, register
+/// it, retire the immutable MemTable, and run SSID-triggered merge
+/// compaction (§2.4 "flushing", §2.5 "compaction").
+pub(crate) fn run_flush(ctx: &CtxInner, db: &Arc<DbInner>, mt: Arc<MemTable>, stamp: SimNs) {
+    let store = ctx.repo_store();
+    let me = ctx.rank.rank();
+    let entries: Vec<(Vec<u8>, Entry)> =
+        mt.iter().map(|(k, e)| (k.to_vec(), e.clone())).collect();
+
+    let ssid = db.next_ssid.fetch_add(1, Ordering::SeqCst);
+    let base = sstable::sst_base(&ctx.repo.prefix, &db.name, me, ssid);
+    let (reader, done) = sstable::build_at(&store, &base, ssid, &entries, stamp);
+    db.ssts.write().push(reader);
+
+    // Retire the immutable MemTable only after the SSTable is visible, so
+    // concurrent gets never observe a gap.
+    db.imm_local.write().retain(|m| !Arc::ptr_eq(m, &mt));
+
+    let done = ckpt::write_manifest_at(
+        &store,
+        &ctx.repo.prefix,
+        &db.name,
+        me,
+        db.next_ssid.load(Ordering::SeqCst),
+        &db.ssts.read().iter().map(SstReader::ssid).collect::<Vec<_>>(),
+        done,
+    );
+    db.flush_backlog.merge(done);
+
+    // Merge compaction "whenever the SSID of a new SSTable is a multiple of
+    // the predefined number" (§2.5).
+    let trigger = db.opt.compaction_trigger;
+    if trigger > 0 && ssid % trigger == 0 && db.ssts.read().len() > 1 {
+        run_merge_compaction(ctx, db, done);
+    }
+
+    let mut sync = db.sync.lock();
+    sync.pending_flushes -= 1;
+    db.sync_cv.notify_all();
+}
+
+/// Merge all live SSTables into one (compaction thread only).
+fn run_merge_compaction(ctx: &CtxInner, db: &Arc<DbInner>, stamp: SimNs) {
+    let store = ctx.repo_store();
+    let me = ctx.rank.rank();
+    let snapshot: Vec<SstReader> = db.ssts.read().clone();
+    if snapshot.len() <= 1 {
+        return;
+    }
+    let new_ssid = db.next_ssid.fetch_add(1, Ordering::SeqCst);
+    let base = sstable::sst_base(&ctx.repo.prefix, &db.name, me, new_ssid);
+    // Merging ALL live tables: tombstones can be dropped outright.
+    let Ok((merged, done)) = sstable::merge_at(&store, &snapshot, &base, new_ssid, true, stamp)
+    else {
+        return;
+    };
+    {
+        let mut ssts = db.ssts.write();
+        ssts.clear();
+        ssts.push(merged);
+    }
+    // "When the compaction is finished, the old SSTables are deleted to
+    // save storage space" (§2.5).
+    let mut t = done;
+    for old in &snapshot {
+        t = old.delete_files_at(t);
+    }
+    let t = ckpt::write_manifest_at(
+        &store,
+        &ctx.repo.prefix,
+        &db.name,
+        me,
+        db.next_ssid.load(Ordering::SeqCst),
+        &[new_ssid],
+        t,
+    );
+    db.flush_backlog.merge(t);
+}
+
+/// Dispatcher-thread body for one migration job: sort the frozen remote
+/// MemTable's pairs by owner, accumulate per-rank chunks, and send them
+/// (§2.4 "migration").
+pub(crate) fn run_migration(ctx: &CtxInner, db: &Arc<DbInner>, mt: Arc<MemTable>, stamp: SimNs) {
+    let mut per_owner: HashMap<usize, Vec<KvRecord>> = HashMap::new();
+    for (k, e) in mt.iter() {
+        per_owner.entry(e.owner as usize).or_default().push(KvRecord {
+            key: k.to_vec(),
+            value: e.value.clone(),
+            tombstone: e.tombstone,
+        });
+    }
+    let mut owners: Vec<usize> = per_owner.keys().copied().collect();
+    owners.sort_unstable();
+    for owner in owners {
+        let records = &per_owner[&owner];
+        pkv_trace!(
+            "[r{}] migrate {} records -> r{owner}",
+            ctx.rank.rank(),
+            records.len()
+        );
+        let payload = msg::encode_migrate(db.id, records);
+        let arrive = ctx.comm_req.send_at(owner, tags::MIGRATE, payload, stamp);
+        db.migrate_backlog.merge(arrive);
+    }
+    db.imm_remote.write().retain(|m| !Arc::ptr_eq(m, &mt));
+    let mut sync = db.sync.lock();
+    sync.migration_inflight -= 1;
+    db.sync_cv.notify_all();
+}
+
+/// Handler-side ingestion of migrated / sync-put records into the owner's
+/// local stack. Returns the service-completion stamp.
+pub(crate) fn apply_incoming_records(
+    ctx: &CtxInner,
+    db: &Arc<DbInner>,
+    records: &[KvRecord],
+    stamp: SimNs,
+) -> SimNs {
+    let clk = Clock::starting_at(stamp);
+    for r in records {
+        pkv_trace!(
+            "[r{}] ingest key={:?}",
+            ctx.rank.rank(),
+            String::from_utf8_lossy(&r.key)
+        );
+        let entry = if r.tombstone { Entry::tombstone() } else { Entry::value(r.value.clone()) };
+        insert_local_entry(ctx, db, &r.key, entry, &clk);
+    }
+    let done = clk.now();
+    db.ingest_backlog.merge(done);
+    done
+}
+
+// ---------------------------------------------------------------------------
+// Read path
+// ---------------------------------------------------------------------------
+
+/// Search this rank's in-memory structures: local MemTable, immutable local
+/// MemTables (newest first), then the local cache (§2.6, Figure 3).
+fn search_local_memory(ctx: &CtxInner, db: &DbInner, key: &[u8], clock: &Clock) -> Lookup {
+    let mem = &ctx.platform.profile.mem;
+    clock.advance(mem.op_ns(key.len() as u64));
+    if let Some(e) = db.local.read().get(key) {
+        return Lookup::from(e);
+    }
+    {
+        let imm = db.imm_local.read();
+        for mt in imm.iter().rev() {
+            clock.advance(mem.op_ns(key.len() as u64));
+            if let Some(e) = mt.get(key) {
+                return Lookup::from(e);
+            }
+        }
+    }
+    let prot = db.state.read().protection;
+    if db.opt.local_cache && prot != Protection::WriteOnly {
+        if let Some(hit) = db.local_cache.lock().get(key) {
+            clock.advance(mem.op_ns((key.len() + hit.value.len()) as u64));
+            db.get_stats.hit();
+            return if hit.tombstone { Lookup::Tombstone } else { Lookup::Found(hit.value) };
+        }
+        db.get_stats.miss();
+    }
+    Lookup::Miss
+}
+
+/// Walk this rank's SSTables newest-SSID-first (§2.6), consulting each
+/// bloom filter first, and populate the local cache on a hit.
+fn search_local_ssts(_ctx: &CtxInner, db: &DbInner, key: &[u8], clock: &Clock) -> Lookup {
+    let prot = db.state.read().protection;
+    let cache_ok = db.opt.local_cache && prot != Protection::WriteOnly;
+    let ssts = db.ssts.read();
+    for reader in ssts.iter().rev() {
+        if db.opt.bloom_filter && !reader.maybe_contains(key) {
+            continue;
+        }
+        let (res, done) = reader.get_at(key, db.opt.bin_search, clock.now());
+        clock.merge(done);
+        match res {
+            SstGet::Found(v) => {
+                if cache_ok {
+                    db.local_cache.lock().insert(key, CacheEntry::value(v.clone()));
+                }
+                return Lookup::Found(v);
+            }
+            SstGet::Tombstone => {
+                if cache_ok {
+                    db.local_cache.lock().insert(key, CacheEntry::tombstone());
+                }
+                return Lookup::Tombstone;
+            }
+            SstGet::NotFound => continue,
+        }
+    }
+    Lookup::Miss
+}
+
+/// Full local get: memory then SSTables.
+fn local_get(ctx: &CtxInner, db: &DbInner, key: &[u8], clock: &Clock) -> Lookup {
+    match search_local_memory(ctx, db, key, clock) {
+        Lookup::Miss => search_local_ssts(ctx, db, key, clock),
+        hit => hit,
+    }
+}
+
+/// Handler-side service of a remote get (§2.6; storage-group fast path
+/// §2.7). Returns the response and the service-completion stamp.
+pub(crate) fn serve_remote_get(
+    ctx: &CtxInner,
+    db: &Arc<DbInner>,
+    key: &[u8],
+    caller_group: u32,
+    caller_rank: usize,
+    stamp: SimNs,
+) -> (GetResp, SimNs) {
+    let clk = Clock::starting_at(stamp);
+    let me = ctx.rank.rank();
+    let shared = caller_group != msg::NO_GROUP
+        && caller_group == ctx.group_of(me)
+        && ctx.shares_storage(me, caller_rank);
+    if shared {
+        // Same storage group: "the message handler looks into the local
+        // MemTable, immutable local MemTables, and local cache only" (§2.7).
+        match search_local_memory(ctx, db, key, &clk) {
+            Lookup::Found(v) => (GetResp::Found(v), clk.now()),
+            Lookup::Tombstone => (GetResp::NotFound, clk.now()),
+            Lookup::Miss => (GetResp::SearchShared(db.live_ssids_desc()), clk.now()),
+        }
+    } else {
+        match local_get(ctx, db, key, &clk) {
+            Lookup::Found(v) => (GetResp::Found(v), clk.now()),
+            _ => (GetResp::NotFound, clk.now()),
+        }
+    }
+}
+
+/// Caller-side remote get: remote MemTable / migration queue / remote
+/// cache, then a request message, then (storage group) shared-SSTable
+/// search (§2.6-§2.7, Figure 3).
+fn remote_get(ctx: &CtxInner, db: &Arc<DbInner>, key: &[u8], owner: usize, clock: &Clock) -> Lookup {
+    let mem = &ctx.platform.profile.mem;
+    let state = *db.state.read();
+    if state.consistency == Consistency::Relaxed {
+        clock.advance(mem.op_ns(key.len() as u64));
+        if let Some(e) = db.remote.lock().get(key) {
+            return Lookup::from(e);
+        }
+        let imm = db.imm_remote.read();
+        for mt in imm.iter().rev() {
+            clock.advance(mem.op_ns(key.len() as u64));
+            if let Some(e) = mt.get(key) {
+                return Lookup::from(e);
+            }
+        }
+    }
+    let remote_cache_on = db.opt.remote_cache || state.protection == Protection::ReadOnly;
+    if remote_cache_on {
+        if let Some(hit) = db.remote_cache.lock().get(key) {
+            clock.advance(mem.op_ns((key.len() + hit.value.len()) as u64));
+            db.get_stats.hit();
+            return if hit.tombstone { Lookup::Tombstone } else { Lookup::Found(hit.value) };
+        }
+        db.get_stats.miss();
+    }
+
+    // Request/response round trip through the owner's message handler.
+    let me = ctx.rank.rank();
+    let round_trip = |group: u32| -> Option<GetResp> {
+        let payload = msg::encode_get_req(db.id, group, key);
+        ctx.comm_req.send(owner, tags::GET_REQ, payload);
+        let m = ctx
+            .comm_rep
+            .recv(papyrus_mpi::RecvSrc::Rank(owner), papyrus_mpi::RecvTag::Tag(tags::GET_RESP));
+        msg::decode_get_resp(m.payload).ok()
+    };
+    let Some(resp) = round_trip(ctx.group_of(me)) else { return Lookup::Miss };
+    pkv_trace!("[r{me}] remote_get key={:?} -> {:?}", String::from_utf8_lossy(key), resp);
+    match resp {
+        GetResp::Found(v) => {
+            if remote_cache_on {
+                db.remote_cache.lock().insert(key, CacheEntry::value(v.clone()));
+            }
+            Lookup::Found(v)
+        }
+        GetResp::NotFound => Lookup::Miss,
+        GetResp::SearchShared(ssids) => {
+            match search_peer_ssts(ctx, db, key, owner, &ssids, remote_cache_on, clock) {
+                Lookup::Miss => {
+                    // The owner's compaction may have merged and deleted the
+                    // listed SSTables while we were probing them. Retry with
+                    // the storage-group fast path disabled (FULL_GROUP
+                    // sentinel): the owner searches its own SSTables under
+                    // its registry lock, which compaction cannot race.
+                    match round_trip(msg::NO_GROUP) {
+                        Some(GetResp::Found(v)) => {
+                            if remote_cache_on {
+                                db.remote_cache.lock().insert(key, CacheEntry::value(v.clone()));
+                            }
+                            Lookup::Found(v)
+                        }
+                        _ => Lookup::Miss,
+                    }
+                }
+                hit => hit,
+            }
+        }
+    }
+}
+
+/// Storage-group shared-SSTable search: read the owner's SSTables directly
+/// from the shared NVM "as if it were a local get operation" (§2.7).
+fn search_peer_ssts(
+    ctx: &CtxInner,
+    db: &Arc<DbInner>,
+    key: &[u8],
+    owner: usize,
+    ssids_desc: &[Ssid],
+    cache_ok: bool,
+    clock: &Clock,
+) -> Lookup {
+    let store = ctx.repo_store_for(owner);
+    for &ssid in ssids_desc {
+        let reader = {
+            let mut cache = db.peer_readers.lock();
+            match cache.get(&(owner, ssid)) {
+                Some(r) => r.clone(),
+                None => {
+                    let base = sstable::sst_base(&ctx.repo.prefix, &db.name, owner, ssid);
+                    match SstReader::open_at(&store, &base, ssid, clock.now()) {
+                        Some((r, done)) => {
+                            clock.merge(done);
+                            cache.insert((owner, ssid), r.clone());
+                            r
+                        }
+                        // Deleted by the owner's compaction meanwhile: skip.
+                        None => continue,
+                    }
+                }
+            }
+        };
+        if db.opt.bloom_filter && !reader.maybe_contains(key) {
+            continue;
+        }
+        let (res, done) = reader.get_at(key, db.opt.bin_search, clock.now());
+        clock.merge(done);
+        match res {
+            SstGet::Found(v) => {
+                if cache_ok {
+                    db.remote_cache.lock().insert(key, CacheEntry::value(v.clone()));
+                }
+                return Lookup::Found(v);
+            }
+            SstGet::Tombstone => return Lookup::Tombstone,
+            SstGet::NotFound => continue,
+        }
+    }
+    Lookup::Miss
+}
+
+/// Record a barrier mark received by the handler.
+pub(crate) fn note_barrier_mark(db: &Arc<DbInner>, epoch: u64, stamp: SimNs) {
+    let mut sync = db.sync.lock();
+    let slot = sync.barrier_marks.entry(epoch).or_insert((0, 0));
+    slot.0 += 1;
+    pkv_trace!("[db {}] mark epoch={epoch} count={}", db.id, slot.0);
+    slot.1 = slot.1.max(stamp);
+    db.sync_cv.notify_all();
+}
+
+/// Collective close: synchronise, flush everything to SSTables, and mark
+/// the handle invalid. SSTables are retained for zero-copy reopen (§4.1).
+pub(crate) fn close_inner(ctx: &Arc<CtxInner>, db: &Arc<DbInner>) -> Result<()> {
+    if db.sync.lock().closed {
+        return Ok(());
+    }
+    barrier_inner(ctx, db, BarrierLevel::SsTable)?;
+    db.sync.lock().closed = true;
+    Ok(())
+}
+
+/// Fence (§3.1): migrate the remote MemTable and every immutable remote
+/// MemTable to the owner ranks immediately; returns when the migration
+/// queue has drained.
+pub(crate) fn fence_inner(ctx: &CtxInner, db: &Arc<DbInner>) -> Result<()> {
+    let clock = ctx.clock();
+    pkv_trace!("[r{}] fence start", ctx.rank.rank());
+    freeze_remote(ctx, db, clock.now());
+    {
+        let mut sync = db.sync.lock();
+        while sync.migration_inflight > 0 {
+            db.sync_cv.wait(&mut sync);
+        }
+    }
+    clock.merge(db.migrate_backlog.now());
+    pkv_trace!("[r{}] fence done", ctx.rank.rank());
+    Ok(())
+}
+
+/// Collective barrier (§3.1): after it, all ranks see the same data; with
+/// `BarrierLevel::SsTable` the whole database is flushed to SSTables.
+pub(crate) fn barrier_inner(ctx: &CtxInner, db: &Arc<DbInner>, level: BarrierLevel) -> Result<()> {
+    let clock = ctx.clock();
+    fence_inner(ctx, db)?;
+
+    // FIFO barrier marks: per-sender channel ordering guarantees every data
+    // message sent before the mark is ingested before the mark is counted.
+    let epoch = db.barrier_epoch.fetch_add(1, Ordering::SeqCst);
+    let n = ctx.rank.size();
+    let mark = msg::encode_barrier_mark(db.id, epoch);
+    for r in 0..n {
+        ctx.comm_req.send(r, tags::BARRIER_MARK, mark.clone());
+    }
+    let mark_stamp = {
+        let mut sync = db.sync.lock();
+        loop {
+            if let Some(&(count, stamp)) = sync.barrier_marks.get(&epoch) {
+                if count == n {
+                    sync.barrier_marks.remove(&epoch);
+                    break stamp;
+                }
+            }
+            db.sync_cv.wait(&mut sync);
+        }
+    };
+    clock.merge(mark_stamp);
+    clock.merge(db.ingest_backlog.now());
+
+    if level == BarrierLevel::SsTable {
+        freeze_local(ctx, db, clock.now());
+        let mut sync = db.sync.lock();
+        while sync.pending_flushes > 0 {
+            db.sync_cv.wait(&mut sync);
+        }
+        drop(sync);
+        clock.merge(db.flush_backlog.now());
+    }
+
+    ctx.comm_ctl.barrier();
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Public handle
+// ---------------------------------------------------------------------------
+
+/// A PapyrusKV database handle (`papyruskv_db_t`).
+///
+/// Obtained from [`Context::open`]; cheap to clone. Operations map 1:1 to
+/// the paper's Table 1 API. `put`/`get`/`delete`/`fence` are per-rank;
+/// `barrier`, `set_consistency`, `protect`, `checkpoint`, `close`, and
+/// `destroy` are collective.
+#[derive(Clone)]
+pub struct Db {
+    ctx: Arc<CtxInner>,
+    inner: Arc<DbInner>,
+}
+
+impl std::fmt::Debug for Db {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Db")
+            .field("name", &self.inner.name)
+            .field("rank", &self.ctx.rank.rank())
+            .field("sstables", &self.inner.ssts.read().len())
+            .finish()
+    }
+}
+
+impl Db {
+    pub(crate) fn new(ctx: Arc<CtxInner>, inner: Arc<DbInner>) -> Self {
+        Self { ctx, inner }
+    }
+
+    /// Database name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Owner rank of a key under this database's hash.
+    pub fn owner_of(&self, key: &[u8]) -> usize {
+        self.inner.dist.owner(key)
+    }
+
+    /// `papyruskv_put`: insert or update a key-value pair.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.write_entry(key, Bytes::copy_from_slice(value), false)
+    }
+
+    /// `papyruskv_delete`: delete a key (a put of a zero-length value with
+    /// the tombstone bit set, §2.5).
+    pub fn delete(&self, key: &[u8]) -> Result<()> {
+        self.write_entry(key, Bytes::new(), true)
+    }
+
+    fn write_entry(&self, key: &[u8], value: Bytes, tombstone: bool) -> Result<()> {
+        self.inner.check_open()?;
+        if key.is_empty() {
+            return Err(Error::InvalidArgument("empty key"));
+        }
+        let state = *self.inner.state.read();
+        if state.protection == Protection::ReadOnly {
+            return Err(Error::Protected);
+        }
+        let ctx = &self.ctx;
+        let db = &self.inner;
+        let clock = ctx.clock();
+        db.put_stats.record((key.len() + value.len()) as u64);
+
+        let owner = db.dist.owner(key);
+        let me = ctx.rank.rank();
+        if owner == me {
+            pkv_trace!("[r{me}] put local key={:?}", String::from_utf8_lossy(key));
+            let entry = if tombstone { Entry::tombstone() } else { Entry::value(value) };
+            insert_local_entry(ctx, db, key, entry, clock);
+            return Ok(());
+        }
+        match state.consistency {
+            Consistency::Relaxed => {
+                let mem = &ctx.platform.profile.mem;
+                clock.advance(mem.op_ns((key.len() + value.len()) as u64));
+                if db.opt.remote_cache {
+                    db.remote_cache.lock().invalidate(key);
+                }
+                pkv_trace!("[r{me}] put remote key={:?} owner={owner}", String::from_utf8_lossy(key));
+                let over = {
+                    let mut remote = db.remote.lock();
+                    remote.insert(key, Entry::remote(value, tombstone, owner as u32));
+                    remote.bytes() >= db.opt.remote_memtable_capacity
+                };
+                if over {
+                    freeze_remote(ctx, db, clock.now());
+                }
+                Ok(())
+            }
+            Consistency::Sequential => {
+                // "sent to the remote owner rank synchronously and directly
+                // without staging in the remote MemTable" (§3.1).
+                let rec = KvRecord { key: key.to_vec(), value, tombstone };
+                ctx.comm_req.send(owner, tags::PUT_SYNC, msg::encode_put_sync(db.id, &rec));
+                ctx.comm_rep
+                    .recv(papyrus_mpi::RecvSrc::Rank(owner), papyrus_mpi::RecvTag::Tag(tags::PUT_ACK));
+                Ok(())
+            }
+        }
+    }
+
+    /// `papyruskv_get`: retrieve the value for `key`. Returns
+    /// `Err(Error::NotFound)` if absent or deleted (the C API's
+    /// `PAPYRUSKV_NOT_FOUND`).
+    pub fn get(&self, key: &[u8]) -> Result<Bytes> {
+        self.inner.check_open()?;
+        if key.is_empty() {
+            return Err(Error::InvalidArgument("empty key"));
+        }
+        let ctx = &self.ctx;
+        let db = &self.inner;
+        let clock = ctx.clock();
+        db.get_stats.record(key.len() as u64);
+        let owner = db.dist.owner(key);
+        let me = ctx.rank.rank();
+        let res = if owner == me {
+            local_get(ctx, db, key, clock)
+        } else {
+            remote_get(ctx, db, key, owner, clock)
+        };
+        match res {
+            Lookup::Found(v) => Ok(v),
+            Lookup::Tombstone | Lookup::Miss => Err(Error::NotFound),
+        }
+    }
+
+    /// Convenience: `get` with `Option` instead of `NotFound` errors.
+    pub fn get_opt(&self, key: &[u8]) -> Result<Option<Bytes>> {
+        match self.get(key) {
+            Ok(v) => Ok(Some(v)),
+            Err(Error::NotFound) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// `papyruskv_fence`: drain this rank's remote MemTables to the owners.
+    pub fn fence(&self) -> Result<()> {
+        self.inner.check_open()?;
+        fence_inner(&self.ctx, &self.inner)
+    }
+
+    /// `papyruskv_barrier`: collective memory fence with a flushing level.
+    pub fn barrier(&self, level: BarrierLevel) -> Result<()> {
+        self.inner.check_open()?;
+        barrier_inner(&self.ctx, &self.inner, level)
+    }
+
+    /// `papyruskv_consistency`: collectively switch consistency mode (§3.1).
+    pub fn set_consistency(&self, mode: Consistency) -> Result<()> {
+        self.inner.check_open()?;
+        barrier_inner(&self.ctx, &self.inner, BarrierLevel::MemTable)?;
+        self.inner.state.write().consistency = mode;
+        Ok(())
+    }
+
+    /// Current consistency mode.
+    pub fn consistency(&self) -> Consistency {
+        self.inner.state.read().consistency
+    }
+
+    /// `papyruskv_protect`: collectively switch the protection attribute
+    /// (§3.2). Entering `WriteOnly` invalidates and disables the local
+    /// cache; leaving `ReadOnly` evicts and disables the remote cache.
+    pub fn protect(&self, prot: Protection) -> Result<()> {
+        self.inner.check_open()?;
+        barrier_inner(&self.ctx, &self.inner, BarrierLevel::MemTable)?;
+        let prev = {
+            let mut st = self.inner.state.write();
+            let prev = st.protection;
+            st.protection = prot;
+            prev
+        };
+        if prot == Protection::WriteOnly {
+            self.inner.local_cache.lock().clear();
+        }
+        if prev == Protection::ReadOnly && prot != Protection::ReadOnly {
+            self.inner.remote_cache.lock().clear();
+        }
+        Ok(())
+    }
+
+    /// Current protection attribute.
+    pub fn protection(&self) -> Protection {
+        self.inner.state.read().protection
+    }
+
+    /// `papyruskv_close`: collective close; all data is flushed to SSTables
+    /// which remain in the repository for zero-copy reopen (§4.1).
+    pub fn close(&self) -> Result<()> {
+        close_inner(&self.ctx, &self.inner)
+    }
+
+    /// `papyruskv_checkpoint`: asynchronously snapshot the database to
+    /// `dest` on the parallel file system (§4.2). Collective. The returned
+    /// [`Event`] completes when this rank's transfer finishes.
+    pub fn checkpoint(&self, dest: &str) -> Result<Event> {
+        self.inner.check_open()?;
+        ckpt::checkpoint(&self.ctx, &self.inner, dest)
+    }
+
+    /// `papyruskv_destroy`: collectively remove the database and all its
+    /// data from NVM.
+    pub fn destroy(&self) -> Result<Event> {
+        self.inner.check_open()?;
+        close_inner(&self.ctx, &self.inner)?;
+        let clock = self.ctx.clock();
+        let store = self.ctx.repo_store();
+        let me = self.ctx.rank.rank();
+        let prefix = format!("{}/{}/r{}/", self.ctx.repo.prefix, self.inner.name, me);
+        let mut t = clock.now();
+        for obj in store.list(&prefix) {
+            let (_, done) = store.delete_at(&obj, t);
+            t = done;
+        }
+        self.ctx.comm_ctl.barrier();
+        Ok(Event::completed(clock.clone(), t))
+    }
+
+    /// Put-side statistics (ops, bytes).
+    pub fn put_stats(&self) -> &OpStats {
+        &self.inner.put_stats
+    }
+
+    /// Get-side statistics (ops, bytes, cache hits/misses).
+    pub fn get_stats(&self) -> &OpStats {
+        &self.inner.get_stats
+    }
+
+    /// Number of live SSTables on this rank (diagnostics).
+    pub fn sstable_count(&self) -> usize {
+        self.inner.ssts.read().len()
+    }
+
+    /// Bytes currently staged in the local MemTable (diagnostics).
+    pub fn memtable_bytes(&self) -> u64 {
+        self.inner.local.read().bytes()
+    }
+}
+
+/// `papyruskv_restart` lives on [`Context`] since it creates the database.
+impl Context {
+    /// Revert database `name` from the snapshot at `path` (§4.2). If the
+    /// snapshot was taken with the same number of ranks (and
+    /// `force_redistribute` is off), SSTables are copied back verbatim;
+    /// otherwise every key-value pair is re-put under the new distribution
+    /// ("restart with redistribution", Figure 5(c)).
+    ///
+    /// Collective. Returns the database and an [`Event`] carrying the
+    /// virtual completion time of the transfer.
+    pub fn restart(
+        &self,
+        path: &str,
+        name: &str,
+        flags: OpenFlags,
+        opt: Options,
+        force_redistribute: bool,
+    ) -> Result<(Db, Event)> {
+        ckpt::restart(self, path, name, flags, opt, force_redistribute)
+    }
+}

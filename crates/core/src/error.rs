@@ -1,0 +1,86 @@
+//! Error codes mirroring the PapyrusKV C API's 32-bit return codes.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// PapyrusKV error conditions.
+///
+/// The C API returns `PAPYRUSKV_SUCCESS`, `PAPYRUSKV_INVALID_DB`,
+/// `PAPYRUSKV_NOT_FOUND`, etc.; [`Error::code`] recovers those numeric codes
+/// for API-compatibility tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Operation on a closed or unknown database handle.
+    InvalidDb,
+    /// `get`/`delete` on a key that does not exist (or is tombstoned).
+    NotFound,
+    /// Write attempted while the database is protected `PAPYRUSKV_RDONLY`,
+    /// or read attempted under `PAPYRUSKV_WRONLY` where disallowed.
+    Protected,
+    /// Malformed argument (empty key, zero ranks, bad flag combination).
+    InvalidArgument(&'static str),
+    /// Checkpoint/restart could not find or parse a snapshot.
+    InvalidSnapshot(String),
+    /// Internal runtime failure (wire-format corruption, missing object).
+    Internal(String),
+}
+
+impl Error {
+    /// The C API's numeric code for this error. `PAPYRUSKV_SUCCESS` (0) is
+    /// represented by `Ok(..)` and has no `Error` value.
+    pub fn code(&self) -> i32 {
+        match self {
+            Error::InvalidDb => -1,
+            Error::NotFound => -2,
+            Error::Protected => -3,
+            Error::InvalidArgument(_) => -4,
+            Error::InvalidSnapshot(_) => -5,
+            Error::Internal(_) => -6,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidDb => write!(f, "PAPYRUSKV_INVALID_DB"),
+            Error::NotFound => write!(f, "PAPYRUSKV_NOT_FOUND"),
+            Error::Protected => write!(f, "PAPYRUSKV_PROTECTED"),
+            Error::InvalidArgument(what) => write!(f, "PAPYRUSKV_INVALID_ARGUMENT: {what}"),
+            Error::InvalidSnapshot(what) => write!(f, "PAPYRUSKV_INVALID_SNAPSHOT: {what}"),
+            Error::Internal(what) => write!(f, "PAPYRUSKV_INTERNAL: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_distinct_and_negative() {
+        let errs = [
+            Error::InvalidDb,
+            Error::NotFound,
+            Error::Protected,
+            Error::InvalidArgument("x"),
+            Error::InvalidSnapshot("y".into()),
+            Error::Internal("z".into()),
+        ];
+        let mut codes: Vec<i32> = errs.iter().map(Error::code).collect();
+        assert!(codes.iter().all(|&c| c < 0));
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), errs.len());
+    }
+
+    #[test]
+    fn display_names_match_c_api() {
+        assert_eq!(Error::NotFound.to_string(), "PAPYRUSKV_NOT_FOUND");
+        assert_eq!(Error::InvalidDb.to_string(), "PAPYRUSKV_INVALID_DB");
+    }
+}

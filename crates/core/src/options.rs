@@ -1,0 +1,238 @@
+//! Database options, flags, and modes (`papyruskv_option_t` and friends).
+
+use crate::hashfn::HashFn;
+
+/// Memory consistency mode (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Consistency {
+    /// `PAPYRUSKV_SEQUENTIAL`: every remote put/delete migrates to the owner
+    /// immediately and synchronously; every such operation is a
+    /// synchronisation point.
+    Sequential,
+    /// `PAPYRUSKV_RELAXED`: remote puts stage in the remote MemTable and
+    /// migrate asynchronously; data visible to different ranks may differ
+    /// except at fence/barrier synchronisation points.
+    Relaxed,
+}
+
+/// Protection attribute (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protection {
+    /// `PAPYRUSKV_RDWR`: reads and writes allowed; local cache enabled,
+    /// remote cache disabled.
+    ReadWrite,
+    /// `PAPYRUSKV_WRONLY`: write-only phase; the local cache is invalidated
+    /// and disabled so puts skip cache maintenance.
+    WriteOnly,
+    /// `PAPYRUSKV_RDONLY`: read-only phase; the remote cache is enabled and
+    /// entries stay valid until the database becomes writable again.
+    ReadOnly,
+}
+
+/// Flushing level for `papyruskv_barrier` (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarrierLevel {
+    /// `PAPYRUSKV_MEMTABLE`: all remote data migrated; local MemTables may
+    /// stay in memory.
+    MemTable,
+    /// `PAPYRUSKV_SSTABLE`: additionally flush every local MemTable (and the
+    /// immutable queue) to SSTables on NVM.
+    SsTable,
+}
+
+/// Open flags for `papyruskv_open`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpenFlags {
+    /// Create the database if it does not exist.
+    pub create: bool,
+    /// Fail if SSTables for this database already exist in the repository
+    /// (otherwise an existing database is *composed* from the retained
+    /// SSTables — the §4.1 zero-copy workflow).
+    pub exclusive: bool,
+}
+
+impl OpenFlags {
+    /// Create-if-missing (the common case).
+    pub fn create() -> Self {
+        Self { create: true, exclusive: false }
+    }
+
+    /// Create-and-must-be-new.
+    pub fn create_new() -> Self {
+        Self { create: true, exclusive: true }
+    }
+}
+
+/// Database configuration (`papyruskv_option_t` plus the artifact's
+/// environment knobs `PAPYRUSKV_*`).
+#[derive(Clone)]
+pub struct Options {
+    /// MemTable capacity in bytes before it freezes and flushes
+    /// (`PAPYRUSKV_MEMTABLE`-threshold; the paper's evaluation used 1 GB).
+    pub memtable_capacity: u64,
+    /// Remote MemTable capacity in bytes before it migrates.
+    pub remote_memtable_capacity: u64,
+    /// Flushing/migration queue depth (fixed-size lock-free FIFO, §2.4).
+    pub flush_queue_len: usize,
+    /// Enable the local cache (key-value pairs fetched from SSTables).
+    pub local_cache: bool,
+    /// Local cache capacity in bytes.
+    pub local_cache_capacity: u64,
+    /// Enable the remote cache even outside `Protection::ReadOnly`
+    /// (`PAPYRUSKV_CACHE_REMOTE=1` in the artifact).
+    pub remote_cache: bool,
+    /// Remote cache capacity in bytes.
+    pub remote_cache_capacity: u64,
+    /// Initial consistency mode (`PAPYRUSKV_CONSISTENCY`).
+    pub consistency: Consistency,
+    /// Initial protection attribute.
+    pub protection: Protection,
+    /// Use SSTable binary search (`PAPYRUSKV_BIN_SEARCH`; Figure 8's "B").
+    pub bin_search: bool,
+    /// Consult per-SSTable bloom filters before probing SSData (§2.4).
+    /// Disabling is an ablation knob: every get then probes every table.
+    pub bloom_filter: bool,
+    /// Merge-compact whenever a new SSID is a multiple of this (§2.5);
+    /// 0 disables compaction.
+    pub compaction_trigger: u64,
+    /// Application-supplied hash for key → owner-rank distribution (§2.4
+    /// load balancing; §5.2 Meraculous affinity). `None` = built-in hash.
+    pub custom_hash: Option<HashFn>,
+}
+
+impl std::fmt::Debug for Options {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Options")
+            .field("memtable_capacity", &self.memtable_capacity)
+            .field("flush_queue_len", &self.flush_queue_len)
+            .field("local_cache", &self.local_cache)
+            .field("remote_cache", &self.remote_cache)
+            .field("consistency", &self.consistency)
+            .field("protection", &self.protection)
+            .field("bin_search", &self.bin_search)
+            .field("compaction_trigger", &self.compaction_trigger)
+            .field("custom_hash", &self.custom_hash.is_some())
+            .finish()
+    }
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            memtable_capacity: 64 << 20,
+            remote_memtable_capacity: 64 << 20,
+            flush_queue_len: 4,
+            local_cache: true,
+            local_cache_capacity: 16 << 20,
+            remote_cache: false,
+            remote_cache_capacity: 16 << 20,
+            consistency: Consistency::Relaxed,
+            protection: Protection::ReadWrite,
+            bin_search: true,
+            bloom_filter: true,
+            compaction_trigger: 4,
+            custom_hash: None,
+        }
+    }
+}
+
+impl Options {
+    /// Options sized for unit tests: small MemTables so flush/migration
+    /// paths trigger quickly.
+    pub fn small() -> Self {
+        Self {
+            memtable_capacity: 4 << 10,
+            remote_memtable_capacity: 4 << 10,
+            local_cache_capacity: 4 << 10,
+            remote_cache_capacity: 4 << 10,
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style: set consistency.
+    pub fn with_consistency(mut self, c: Consistency) -> Self {
+        self.consistency = c;
+        self
+    }
+
+    /// Builder-style: set MemTable capacities.
+    pub fn with_memtable_capacity(mut self, bytes: u64) -> Self {
+        self.memtable_capacity = bytes;
+        self.remote_memtable_capacity = bytes;
+        self
+    }
+
+    /// Builder-style: set the custom hash.
+    pub fn with_custom_hash(mut self, hash: HashFn) -> Self {
+        self.custom_hash = Some(hash);
+        self
+    }
+
+    /// Builder-style: toggle SSTable binary search.
+    pub fn with_bin_search(mut self, on: bool) -> Self {
+        self.bin_search = on;
+        self
+    }
+
+    /// Builder-style: toggle the per-SSTable bloom filters (ablation).
+    pub fn with_bloom_filter(mut self, on: bool) -> Self {
+        self.bloom_filter = on;
+        self
+    }
+
+    /// Builder-style: enable the remote cache unconditionally.
+    pub fn with_remote_cache(mut self, on: bool) -> Self {
+        self.remote_cache = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn defaults_match_paper_defaults() {
+        let o = Options::default();
+        assert_eq!(o.consistency, Consistency::Relaxed);
+        assert_eq!(o.protection, Protection::ReadWrite);
+        assert!(o.bin_search);
+        assert!(o.bloom_filter);
+        assert!(o.local_cache);
+        assert!(!o.remote_cache);
+        assert!(o.custom_hash.is_none());
+        assert_eq!(o.flush_queue_len, 4);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let o = Options::default()
+            .with_consistency(Consistency::Sequential)
+            .with_memtable_capacity(1 << 30)
+            .with_bin_search(false)
+            .with_remote_cache(true)
+            .with_custom_hash(Arc::new(|_k: &[u8]| 0));
+        assert_eq!(o.consistency, Consistency::Sequential);
+        assert_eq!(o.memtable_capacity, 1 << 30);
+        assert_eq!(o.remote_memtable_capacity, 1 << 30);
+        assert!(!o.bin_search);
+        assert!(o.remote_cache);
+        assert!(o.custom_hash.is_some());
+    }
+
+    #[test]
+    fn open_flags_constructors() {
+        assert!(OpenFlags::create().create);
+        assert!(!OpenFlags::create().exclusive);
+        assert!(OpenFlags::create_new().exclusive);
+        assert_eq!(OpenFlags::default(), OpenFlags { create: false, exclusive: false });
+    }
+
+    #[test]
+    fn debug_impl_does_not_leak_hash_fn() {
+        let o = Options::default().with_custom_hash(Arc::new(|_k: &[u8]| 1));
+        let s = format!("{o:?}");
+        assert!(s.contains("custom_hash: true"));
+    }
+}

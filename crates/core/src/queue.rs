@@ -1,0 +1,373 @@
+//! Lock-free bounded FIFO: the flushing / migration queue (paper §2.4).
+//!
+//! "The flushing queue is a lock-free, fixed-size, FIFO queue. ... If the
+//! flushing queue is full when the runtime enqueues an immutable local
+//! MemTable into the queue, the MPI rank is blocked on the put operation
+//! until the queue is available. This prevents the unflushed MemTables from
+//! consuming too much system memory due to the performance imbalance between
+//! DRAM and NVM."
+//!
+//! [`BoundedQueue`] is a Vyukov-style MPMC ring buffer (per-slot sequence
+//! numbers; the fast path is a single CAS). [`BlockingQueue`] layers the
+//! block-when-full / block-when-empty behaviour on top with a condvar used
+//! purely for parking — the data path stays lock-free.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::utils::CachePadded;
+use parking_lot::{Condvar, Mutex};
+
+struct Slot<T> {
+    /// Slot state: `seq == index` ⇒ empty and writable by the producer whose
+    /// enqueue position is `index`; `seq == index + 1` ⇒ full and readable
+    /// by the consumer whose dequeue position is `index`.
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// Fixed-capacity lock-free MPMC FIFO.
+pub struct BoundedQueue<T> {
+    slots: Box<[Slot<T>]>,
+    mask: usize,
+    enqueue_pos: CachePadded<AtomicUsize>,
+    dequeue_pos: CachePadded<AtomicUsize>,
+}
+
+// SAFETY: values are moved in/out under the per-slot sequence protocol; a
+// slot is only touched by the single producer/consumer that claimed it.
+unsafe impl<T: Send> Send for BoundedQueue<T> {}
+unsafe impl<T: Send> Sync for BoundedQueue<T> {}
+
+impl<T> BoundedQueue<T> {
+    /// Create a queue with capacity rounded up to the next power of two
+    /// (minimum 2).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots = (0..cap)
+            .map(|i| Slot { seq: AtomicUsize::new(i), value: UnsafeCell::new(MaybeUninit::uninit()) })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self {
+            slots,
+            mask: cap - 1,
+            enqueue_pos: CachePadded::new(AtomicUsize::new(0)),
+            dequeue_pos: CachePadded::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Queue capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Approximate number of queued items (racy under concurrency).
+    pub fn len(&self) -> usize {
+        let tail = self.enqueue_pos.load(Ordering::Relaxed);
+        let head = self.dequeue_pos.load(Ordering::Relaxed);
+        tail.saturating_sub(head)
+    }
+
+    /// Whether the queue appears empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Attempt to enqueue; returns the value back if the queue is full.
+    pub fn try_push(&self, value: T) -> Result<(), T> {
+        let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            match seq as isize - pos as isize {
+                0 => {
+                    match self.enqueue_pos.compare_exchange_weak(
+                        pos,
+                        pos + 1,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            // SAFETY: we own this slot until we bump seq.
+                            unsafe { (*slot.value.get()).write(value) };
+                            slot.seq.store(pos + 1, Ordering::Release);
+                            return Ok(());
+                        }
+                        Err(observed) => pos = observed,
+                    }
+                }
+                d if d < 0 => return Err(value), // full
+                _ => pos = self.enqueue_pos.load(Ordering::Relaxed),
+            }
+        }
+    }
+
+    /// Attempt to dequeue; `None` if empty.
+    pub fn try_pop(&self) -> Option<T> {
+        let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            match seq as isize - (pos + 1) as isize {
+                0 => {
+                    match self.dequeue_pos.compare_exchange_weak(
+                        pos,
+                        pos + 1,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            // SAFETY: we own this full slot until we bump seq.
+                            let value = unsafe { (*slot.value.get()).assume_init_read() };
+                            slot.seq.store(pos + self.mask + 1, Ordering::Release);
+                            return Some(value);
+                        }
+                        Err(observed) => pos = observed,
+                    }
+                }
+                d if d < 0 => return None, // empty
+                _ => pos = self.dequeue_pos.load(Ordering::Relaxed),
+            }
+        }
+    }
+}
+
+impl<T> Drop for BoundedQueue<T> {
+    fn drop(&mut self) {
+        while self.try_pop().is_some() {}
+    }
+}
+
+/// Blocking facade over [`BoundedQueue`]: producers block when full (the
+/// paper's put-side backpressure), consumers block when empty (the
+/// compaction / dispatcher threads sleep until work arrives).
+pub struct BlockingQueue<T> {
+    queue: BoundedQueue<T>,
+    gate: Mutex<()>,
+    cv: Condvar,
+}
+
+impl<T> BlockingQueue<T> {
+    /// Blocking queue with the given capacity.
+    pub fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(Self { queue: BoundedQueue::new(capacity), gate: Mutex::new(()), cv: Condvar::new() })
+    }
+
+    /// Enqueue, blocking while the queue is full.
+    pub fn push(&self, mut value: T) {
+        loop {
+            match self.queue.try_push(value) {
+                Ok(()) => {
+                    self.cv.notify_all();
+                    return;
+                }
+                Err(v) => {
+                    value = v;
+                    let mut g = self.gate.lock();
+                    // Timed wait: immune to lost-wakeup races with the
+                    // lock-free fast path.
+                    self.cv.wait_for(&mut g, Duration::from_micros(200));
+                }
+            }
+        }
+    }
+
+    /// Dequeue, blocking while the queue is empty.
+    pub fn pop(&self) -> T {
+        loop {
+            if let Some(v) = self.queue.try_pop() {
+                self.cv.notify_all();
+                return v;
+            }
+            let mut g = self.gate.lock();
+            self.cv.wait_for(&mut g, Duration::from_micros(200));
+        }
+    }
+
+    /// Non-blocking enqueue.
+    pub fn try_push(&self, value: T) -> Result<(), T> {
+        let r = self.queue.try_push(value);
+        if r.is_ok() {
+            self.cv.notify_all();
+        }
+        r
+    }
+
+    /// Non-blocking dequeue.
+    pub fn try_pop(&self) -> Option<T> {
+        let v = self.queue.try_pop();
+        if v.is_some() {
+            self.cv.notify_all();
+        }
+        v
+    }
+
+    /// Approximate occupancy.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue appears empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let q = BoundedQueue::new(8);
+        for i in 0..8 {
+            q.try_push(i).unwrap();
+        }
+        assert!(q.try_push(99).is_err(), "queue should be full");
+        for i in 0..8 {
+            assert_eq!(q.try_pop(), Some(i));
+        }
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        let q: BoundedQueue<u8> = BoundedQueue::new(5);
+        assert_eq!(q.capacity(), 8);
+        let q: BoundedQueue<u8> = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 2);
+    }
+
+    #[test]
+    fn wraparound_many_times() {
+        let q = BoundedQueue::new(4);
+        for round in 0..100 {
+            for i in 0..4 {
+                q.try_push(round * 4 + i).unwrap();
+            }
+            for i in 0..4 {
+                assert_eq!(q.try_pop(), Some(round * 4 + i));
+            }
+        }
+    }
+
+    #[test]
+    fn len_tracks_occupancy() {
+        let q = BoundedQueue::new(8);
+        assert!(q.is_empty());
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        q.try_pop();
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn drop_releases_queued_values() {
+        // Arc payloads: if Drop leaks, the Arc count stays elevated.
+        let sentinel = Arc::new(());
+        {
+            let q = BoundedQueue::new(4);
+            q.try_push(sentinel.clone()).unwrap();
+            q.try_push(sentinel.clone()).unwrap();
+        }
+        assert_eq!(Arc::strong_count(&sentinel), 1);
+    }
+
+    #[test]
+    fn mpmc_no_loss_no_duplication() {
+        let q = Arc::new(BoundedQueue::new(64));
+        let n_producers = 4;
+        let per = 5_000usize;
+        let consumed = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for p in 0..n_producers {
+            let q = q.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..per {
+                    let mut v = p * per + i;
+                    loop {
+                        match q.try_push(v) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                v = back;
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        for _ in 0..4 {
+            let q = q.clone();
+            let consumed = consumed.clone();
+            handles.push(thread::spawn(move || {
+                // Each consumer drains exactly `per` items.
+                let mut local = Vec::with_capacity(per);
+                while local.len() < per {
+                    match q.try_pop() {
+                        Some(v) => local.push(v),
+                        None => std::hint::spin_loop(),
+                    }
+                }
+                consumed.lock().extend(local);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut all = consumed.lock().clone();
+        all.sort_unstable();
+        let want: Vec<usize> = (0..n_producers * per).collect();
+        assert_eq!(all, want);
+    }
+
+    #[test]
+    fn blocking_push_waits_for_space() {
+        let q = BlockingQueue::new(2);
+        q.push(1);
+        q.push(2);
+        let q2 = q.clone();
+        let h = thread::spawn(move || {
+            q2.push(3); // blocks until a pop frees a slot
+            true
+        });
+        thread::sleep(Duration::from_millis(30));
+        assert!(!h.is_finished(), "push must block while full");
+        assert_eq!(q.pop(), 1);
+        assert!(h.join().unwrap());
+        assert_eq!(q.pop(), 2);
+        assert_eq!(q.pop(), 3);
+    }
+
+    #[test]
+    fn blocking_pop_waits_for_item() {
+        let q: Arc<BlockingQueue<u32>> = BlockingQueue::new(4);
+        let q2 = q.clone();
+        let h = thread::spawn(move || q2.pop());
+        thread::sleep(Duration::from_millis(20));
+        q.push(42);
+        assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn blocking_queue_spsc_throughput() {
+        let q = BlockingQueue::new(8);
+        let q2 = q.clone();
+        let h = thread::spawn(move || {
+            let mut sum = 0u64;
+            for _ in 0..10_000 {
+                sum += q2.pop();
+            }
+            sum
+        });
+        for i in 0..10_000u64 {
+            q.push(i);
+        }
+        assert_eq!(h.join().unwrap(), 10_000 * 9_999 / 2);
+    }
+}

@@ -1,0 +1,613 @@
+//! Arena-based red-black tree: the MemTable index structure.
+//!
+//! The paper (§2.4): "The MemTable is implemented as a red-black tree indexed
+//! by key. A red-black tree is a self-balancing binary tree. Thus, insert,
+//! lookup, and delete operations take O(log n) time."
+//!
+//! The implementation is a CLRS red-black tree over an index arena (no
+//! `unsafe`, no per-node allocation): nodes live in a `Vec`, links are `u32`
+//! indices, and a shared sentinel at index 0 plays the role of NIL. In-order
+//! iteration (needed to flush a MemTable into a sorted SSTable) uses parent
+//! pointers, so it allocates nothing.
+
+/// Sentinel index standing in for NIL. Slot 0 of the arena.
+const NIL: u32 = 0;
+
+#[derive(Debug)]
+struct Node<V> {
+    key: Vec<u8>,
+    val: Option<V>,
+    left: u32,
+    right: u32,
+    parent: u32,
+    red: bool,
+}
+
+/// A map from byte-string keys to `V`, ordered by key.
+#[derive(Debug)]
+pub struct RbTree<V> {
+    nodes: Vec<Node<V>>,
+    free: Vec<u32>,
+    root: u32,
+    len: usize,
+}
+
+impl<V> Default for RbTree<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> RbTree<V> {
+    /// Empty tree.
+    pub fn new() -> Self {
+        // Slot 0 is the shared NIL sentinel: black, self-linked.
+        let nil = Node { key: Vec::new(), val: None, left: NIL, right: NIL, parent: NIL, red: false };
+        Self { nodes: vec![nil], free: Vec::new(), root: NIL, len: 0 }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn n(&self, i: u32) -> &Node<V> {
+        &self.nodes[i as usize]
+    }
+
+    #[inline]
+    fn nm(&mut self, i: u32) -> &mut Node<V> {
+        &mut self.nodes[i as usize]
+    }
+
+    fn alloc(&mut self, key: Vec<u8>, val: V, parent: u32) -> u32 {
+        let node = Node { key, val: Some(val), left: NIL, right: NIL, parent, red: true };
+        if let Some(i) = self.free.pop() {
+            self.nodes[i as usize] = node;
+            i
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    fn find(&self, key: &[u8]) -> u32 {
+        let mut x = self.root;
+        while x != NIL {
+            match key.cmp(&self.n(x).key) {
+                std::cmp::Ordering::Less => x = self.n(x).left,
+                std::cmp::Ordering::Greater => x = self.n(x).right,
+                std::cmp::Ordering::Equal => return x,
+            }
+        }
+        NIL
+    }
+
+    /// Look up `key`.
+    pub fn get(&self, key: &[u8]) -> Option<&V> {
+        let i = self.find(key);
+        if i == NIL {
+            None
+        } else {
+            self.n(i).val.as_ref()
+        }
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, key: &[u8]) -> Option<&mut V> {
+        let i = self.find(key);
+        if i == NIL {
+            None
+        } else {
+            self.nm(i).val.as_mut()
+        }
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.find(key) != NIL
+    }
+
+    /// Insert or replace; returns the previous value if the key existed.
+    pub fn insert(&mut self, key: &[u8], val: V) -> Option<V> {
+        let mut parent = NIL;
+        let mut x = self.root;
+        while x != NIL {
+            parent = x;
+            match key.cmp(&self.n(x).key) {
+                std::cmp::Ordering::Less => x = self.n(x).left,
+                std::cmp::Ordering::Greater => x = self.n(x).right,
+                std::cmp::Ordering::Equal => {
+                    return self.nm(x).val.replace(val);
+                }
+            }
+        }
+        let z = self.alloc(key.to_vec(), val, parent);
+        if parent == NIL {
+            self.root = z;
+        } else if key < self.n(parent).key.as_slice() {
+            self.nm(parent).left = z;
+        } else {
+            self.nm(parent).right = z;
+        }
+        self.len += 1;
+        self.insert_fixup(z);
+        None
+    }
+
+    fn rotate_left(&mut self, x: u32) {
+        let y = self.n(x).right;
+        let yl = self.n(y).left;
+        self.nm(x).right = yl;
+        if yl != NIL {
+            self.nm(yl).parent = x;
+        }
+        let xp = self.n(x).parent;
+        self.nm(y).parent = xp;
+        if xp == NIL {
+            self.root = y;
+        } else if self.n(xp).left == x {
+            self.nm(xp).left = y;
+        } else {
+            self.nm(xp).right = y;
+        }
+        self.nm(y).left = x;
+        self.nm(x).parent = y;
+    }
+
+    fn rotate_right(&mut self, x: u32) {
+        let y = self.n(x).left;
+        let yr = self.n(y).right;
+        self.nm(x).left = yr;
+        if yr != NIL {
+            self.nm(yr).parent = x;
+        }
+        let xp = self.n(x).parent;
+        self.nm(y).parent = xp;
+        if xp == NIL {
+            self.root = y;
+        } else if self.n(xp).right == x {
+            self.nm(xp).right = y;
+        } else {
+            self.nm(xp).left = y;
+        }
+        self.nm(y).right = x;
+        self.nm(x).parent = y;
+    }
+
+    fn insert_fixup(&mut self, mut z: u32) {
+        while self.n(self.n(z).parent).red {
+            let zp = self.n(z).parent;
+            let zpp = self.n(zp).parent;
+            if zp == self.n(zpp).left {
+                let y = self.n(zpp).right; // uncle
+                if self.n(y).red {
+                    self.nm(zp).red = false;
+                    self.nm(y).red = false;
+                    self.nm(zpp).red = true;
+                    z = zpp;
+                } else {
+                    if z == self.n(zp).right {
+                        z = zp;
+                        self.rotate_left(z);
+                    }
+                    let zp = self.n(z).parent;
+                    let zpp = self.n(zp).parent;
+                    self.nm(zp).red = false;
+                    self.nm(zpp).red = true;
+                    self.rotate_right(zpp);
+                }
+            } else {
+                let y = self.n(zpp).left;
+                if self.n(y).red {
+                    self.nm(zp).red = false;
+                    self.nm(y).red = false;
+                    self.nm(zpp).red = true;
+                    z = zpp;
+                } else {
+                    if z == self.n(zp).left {
+                        z = zp;
+                        self.rotate_right(z);
+                    }
+                    let zp = self.n(z).parent;
+                    let zpp = self.n(zp).parent;
+                    self.nm(zp).red = false;
+                    self.nm(zpp).red = true;
+                    self.rotate_left(zpp);
+                }
+            }
+        }
+        let r = self.root;
+        self.nm(r).red = false;
+    }
+
+    fn minimum(&self, mut x: u32) -> u32 {
+        while self.n(x).left != NIL {
+            x = self.n(x).left;
+        }
+        x
+    }
+
+    fn transplant(&mut self, u: u32, v: u32) {
+        let up = self.n(u).parent;
+        if up == NIL {
+            self.root = v;
+        } else if u == self.n(up).left {
+            self.nm(up).left = v;
+        } else {
+            self.nm(up).right = v;
+        }
+        // CLRS relies on setting NIL's parent; the sentinel slot makes this
+        // legal here too.
+        self.nm(v).parent = up;
+    }
+
+    /// Remove `key`, returning its value if present.
+    pub fn remove(&mut self, key: &[u8]) -> Option<V> {
+        let z = self.find(key);
+        if z == NIL {
+            return None;
+        }
+        let val = self.nm(z).val.take();
+        let mut y = z;
+        let mut y_was_red = self.n(y).red;
+        let x;
+        if self.n(z).left == NIL {
+            x = self.n(z).right;
+            self.transplant(z, x);
+        } else if self.n(z).right == NIL {
+            x = self.n(z).left;
+            self.transplant(z, x);
+        } else {
+            y = self.minimum(self.n(z).right);
+            y_was_red = self.n(y).red;
+            x = self.n(y).right;
+            if self.n(y).parent == z {
+                self.nm(x).parent = y;
+            } else {
+                self.transplant(y, x);
+                let zr = self.n(z).right;
+                self.nm(y).right = zr;
+                self.nm(zr).parent = y;
+            }
+            self.transplant(z, y);
+            let zl = self.n(z).left;
+            self.nm(y).left = zl;
+            self.nm(zl).parent = y;
+            let z_red = self.n(z).red;
+            self.nm(y).red = z_red;
+        }
+        if !y_was_red {
+            self.delete_fixup(x);
+        }
+        // Keep the sentinel pristine for future transplants.
+        self.nm(NIL).parent = NIL;
+        self.nm(NIL).red = false;
+        // Recycle the arena slot.
+        self.nm(z).key = Vec::new();
+        self.free.push(z);
+        self.len -= 1;
+        val
+    }
+
+    fn delete_fixup(&mut self, mut x: u32) {
+        while x != self.root && !self.n(x).red {
+            let xp = self.n(x).parent;
+            if x == self.n(xp).left {
+                let mut w = self.n(xp).right;
+                if self.n(w).red {
+                    self.nm(w).red = false;
+                    self.nm(xp).red = true;
+                    self.rotate_left(xp);
+                    w = self.n(self.n(x).parent).right;
+                }
+                if !self.n(self.n(w).left).red && !self.n(self.n(w).right).red {
+                    self.nm(w).red = true;
+                    x = self.n(x).parent;
+                } else {
+                    if !self.n(self.n(w).right).red {
+                        let wl = self.n(w).left;
+                        self.nm(wl).red = false;
+                        self.nm(w).red = true;
+                        self.rotate_right(w);
+                        w = self.n(self.n(x).parent).right;
+                    }
+                    let xp = self.n(x).parent;
+                    let xp_red = self.n(xp).red;
+                    self.nm(w).red = xp_red;
+                    self.nm(xp).red = false;
+                    let wr = self.n(w).right;
+                    self.nm(wr).red = false;
+                    self.rotate_left(xp);
+                    x = self.root;
+                }
+            } else {
+                let mut w = self.n(xp).left;
+                if self.n(w).red {
+                    self.nm(w).red = false;
+                    self.nm(xp).red = true;
+                    self.rotate_right(xp);
+                    w = self.n(self.n(x).parent).left;
+                }
+                if !self.n(self.n(w).left).red && !self.n(self.n(w).right).red {
+                    self.nm(w).red = true;
+                    x = self.n(x).parent;
+                } else {
+                    if !self.n(self.n(w).left).red {
+                        let wr = self.n(w).right;
+                        self.nm(wr).red = false;
+                        self.nm(w).red = true;
+                        self.rotate_left(w);
+                        w = self.n(self.n(x).parent).left;
+                    }
+                    let xp = self.n(x).parent;
+                    let xp_red = self.n(xp).red;
+                    self.nm(w).red = xp_red;
+                    self.nm(xp).red = false;
+                    let wl = self.n(w).left;
+                    self.nm(wl).red = false;
+                    self.rotate_right(xp);
+                    x = self.root;
+                }
+            }
+        }
+        self.nm(x).red = false;
+    }
+
+    fn successor(&self, x: u32) -> u32 {
+        if self.n(x).right != NIL {
+            return self.minimum(self.n(x).right);
+        }
+        let mut x = x;
+        let mut y = self.n(x).parent;
+        while y != NIL && x == self.n(y).right {
+            x = y;
+            y = self.n(y).parent;
+        }
+        y
+    }
+
+    /// In-order (key-sorted) iterator over `(key, value)` pairs.
+    pub fn iter(&self) -> Iter<'_, V> {
+        let first = if self.root == NIL { NIL } else { self.minimum(self.root) };
+        Iter { tree: self, next: first }
+    }
+
+    /// Drop all entries.
+    pub fn clear(&mut self) {
+        let nil = Node { key: Vec::new(), val: None, left: NIL, right: NIL, parent: NIL, red: false };
+        self.nodes = vec![nil];
+        self.free.clear();
+        self.root = NIL;
+        self.len = 0;
+    }
+
+    /// Consume the tree into a key-sorted vector.
+    pub fn into_sorted_vec(mut self) -> Vec<(Vec<u8>, V)> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut x = if self.root == NIL { NIL } else { self.minimum(self.root) };
+        while x != NIL {
+            let nxt = self.successor(x);
+            let key = std::mem::take(&mut self.nm(x).key);
+            let val = self.nm(x).val.take().expect("live node without value");
+            out.push((key, val));
+            x = nxt;
+        }
+        out
+    }
+
+    /// Validate red-black invariants (tests/diagnostics): root black, no
+    /// red-red parent/child, equal black height on every path, and ordered
+    /// keys. Returns the tree's black height.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) -> usize {
+        assert!(!self.n(NIL).red, "sentinel must stay black");
+        if self.root == NIL {
+            return 0;
+        }
+        assert!(!self.n(self.root).red, "root must be black");
+        fn walk<V>(
+            t: &RbTree<V>,
+            x: u32,
+            lo: Option<&[u8]>,
+            hi: Option<&[u8]>,
+        ) -> usize {
+            if x == NIL {
+                return 1;
+            }
+            let n = t.n(x);
+            if let Some(lo) = lo {
+                assert!(n.key.as_slice() > lo, "BST order violated");
+            }
+            if let Some(hi) = hi {
+                assert!(n.key.as_slice() < hi, "BST order violated");
+            }
+            if n.red {
+                assert!(!t.n(n.left).red && !t.n(n.right).red, "red-red violation");
+            }
+            let lh = walk(t, n.left, lo, Some(&n.key));
+            let rh = walk(t, n.right, Some(&n.key), hi);
+            assert_eq!(lh, rh, "black-height mismatch");
+            lh + usize::from(!n.red)
+        }
+        walk(self, self.root, None, None)
+    }
+}
+
+/// In-order iterator over an [`RbTree`].
+pub struct Iter<'a, V> {
+    tree: &'a RbTree<V>,
+    next: u32,
+}
+
+impl<'a, V> Iterator for Iter<'a, V> {
+    type Item = (&'a [u8], &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next == NIL {
+            return None;
+        }
+        let i = self.next;
+        self.next = self.tree.successor(i);
+        let n = self.tree.n(i);
+        Some((n.key.as_slice(), n.val.as_ref().expect("live node without value")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree() {
+        let t: RbTree<u32> = RbTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.get(b"x"), None);
+        assert_eq!(t.iter().count(), 0);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn insert_get_replace() {
+        let mut t = RbTree::new();
+        assert_eq!(t.insert(b"a", 1), None);
+        assert_eq!(t.insert(b"b", 2), None);
+        assert_eq!(t.insert(b"a", 10), Some(1));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(b"a"), Some(&10));
+        assert_eq!(t.get(b"b"), Some(&2));
+        assert_eq!(t.get(b"c"), None);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut t = RbTree::new();
+        t.insert(b"k", 5);
+        *t.get_mut(b"k").unwrap() += 1;
+        assert_eq!(t.get(b"k"), Some(&6));
+    }
+
+    #[test]
+    fn iteration_is_key_sorted() {
+        let mut t = RbTree::new();
+        for k in [b"m", b"c", b"z", b"a", b"q"] {
+            t.insert(k, ());
+        }
+        let keys: Vec<&[u8]> = t.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![&b"a"[..], b"c", b"m", b"q", b"z"]);
+    }
+
+    #[test]
+    fn remove_missing_is_none() {
+        let mut t: RbTree<i32> = RbTree::new();
+        t.insert(b"a", 1);
+        assert_eq!(t.remove(b"zz"), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn remove_leaf_root_and_internal() {
+        let mut t = RbTree::new();
+        for i in 0..32u32 {
+            t.insert(format!("{i:02}").as_bytes(), i);
+            t.check_invariants();
+        }
+        assert_eq!(t.remove(b"00"), Some(0));
+        assert_eq!(t.remove(b"31"), Some(31));
+        assert_eq!(t.remove(b"15"), Some(15));
+        t.check_invariants();
+        assert_eq!(t.len(), 29);
+        assert!(!t.contains(b"15"));
+        assert!(t.contains(b"16"));
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut t = RbTree::new();
+        for round in 0..10 {
+            for i in 0..100u32 {
+                t.insert(format!("k{i}").as_bytes(), i + round);
+            }
+            for i in 0..100u32 {
+                assert!(t.remove(format!("k{i}").as_bytes()).is_some());
+            }
+        }
+        assert!(t.is_empty());
+        // Arena should not have grown past one round's worth (+ sentinel).
+        assert!(t.nodes.len() <= 101, "arena grew to {}", t.nodes.len());
+    }
+
+    #[test]
+    fn into_sorted_vec_drains_everything() {
+        let mut t = RbTree::new();
+        for i in (0..50u32).rev() {
+            t.insert(format!("{i:03}").as_bytes(), i);
+        }
+        let v = t.into_sorted_vec();
+        assert_eq!(v.len(), 50);
+        for (i, (k, val)) in v.iter().enumerate() {
+            assert_eq!(k, format!("{i:03}").as_bytes());
+            assert_eq!(*val as usize, i);
+        }
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = RbTree::new();
+        for i in 0..20u8 {
+            t.insert(&[i], i);
+        }
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.get(&[3]), None);
+        t.insert(b"x", 1);
+        assert_eq!(t.len(), 1);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn sequential_and_reverse_insertions_stay_balanced() {
+        // Degenerate insertion orders must still give O(log n) height; the
+        // invariant checker proves balance (black height consistency).
+        let mut fwd = RbTree::new();
+        let mut rev = RbTree::new();
+        for i in 0..1024u32 {
+            fwd.insert(format!("{i:06}").as_bytes(), i);
+            rev.insert(format!("{:06}", 1023 - i).as_bytes(), i);
+        }
+        let bh_f = fwd.check_invariants();
+        let bh_r = rev.check_invariants();
+        // Black height of a 1024-node RB tree is at most ~log2(n)+1.
+        assert!(bh_f <= 11 && bh_r <= 11);
+    }
+
+    #[test]
+    fn interleaved_insert_remove_invariants_hold() {
+        let mut t = RbTree::new();
+        let mut model = std::collections::BTreeMap::new();
+        // Deterministic pseudo-random workload.
+        let mut x = 0x12345678u64;
+        for _ in 0..4000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = format!("{:03}", (x >> 33) % 500);
+            if (x >> 20) % 3 == 0 {
+                assert_eq!(t.remove(k.as_bytes()), model.remove(k.as_bytes()));
+            } else {
+                let v = (x % 1000) as u32;
+                assert_eq!(t.insert(k.as_bytes(), v), model.insert(k.clone().into_bytes(), v));
+            }
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), model.len());
+        let got: Vec<_> = t.iter().map(|(k, v)| (k.to_vec(), *v)).collect();
+        let want: Vec<_> = model.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        assert_eq!(got, want);
+    }
+}

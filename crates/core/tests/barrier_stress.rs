@@ -1,0 +1,33 @@
+//! Stress test for barrier visibility: many fresh worlds, one key per
+//! rank, relaxed mode — the exact pattern that exposed a rare race in the
+//! C-API lifecycle test.
+
+use papyrus_mpi::{World, WorldConfig};
+use papyrus_nvm::SystemProfile;
+use papyruskv::{BarrierLevel, Context, OpenFlags, Options, Platform};
+
+#[test]
+fn barrier_visibility_stress() {
+    for round in 0..300 {
+        let platform = Platform::new(SystemProfile::test_profile(), 2);
+        World::run(WorldConfig::for_tests(2), move |rank| {
+            let ctx = Context::init(rank, platform.clone(), "nvm://bstress").unwrap();
+            let db = ctx.open("db", OpenFlags::create(), Options::default()).unwrap();
+            let me = ctx.rank();
+            let key = format!("k{me}");
+            db.put(key.as_bytes(), b"hello").unwrap();
+            db.barrier(BarrierLevel::MemTable).unwrap();
+            for r in 0..2 {
+                let k = format!("k{r}");
+                if let Err(e) = db.get(k.as_bytes()) {
+                    panic!(
+                        "round {round}: rank {me} missing {k} (owner {}): {e}",
+                        db.owner_of(k.as_bytes())
+                    );
+                }
+            }
+            db.close().unwrap();
+            ctx.finalize().unwrap();
+        });
+    }
+}

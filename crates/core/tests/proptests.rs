@@ -1,0 +1,190 @@
+//! Property-based tests for PapyrusKV's core data structures and formats.
+
+use bytes::Bytes;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use papyruskv::bloom::Bloom;
+use papyruskv::lru::{CacheEntry, LruCache};
+use papyruskv::memtable::{Entry, MemTable};
+use papyruskv::msg;
+use papyruskv::queue::BoundedQueue;
+use papyruskv::rbtree::RbTree;
+use papyruskv::sstable;
+
+fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
+    vec(any::<u8>(), 1..24)
+}
+
+proptest! {
+    /// The red-black tree behaves exactly like BTreeMap under arbitrary
+    /// insert/remove interleavings, and its invariants hold throughout.
+    #[test]
+    fn rbtree_matches_btreemap(ops in vec((key_strategy(), any::<Option<u32>>()), 0..300)) {
+        let mut tree = RbTree::new();
+        let mut model = std::collections::BTreeMap::new();
+        for (key, op) in &ops {
+            match op {
+                Some(v) => {
+                    prop_assert_eq!(tree.insert(key, *v), model.insert(key.clone(), *v));
+                }
+                None => {
+                    prop_assert_eq!(tree.remove(key), model.remove(key));
+                }
+            }
+        }
+        tree.check_invariants();
+        prop_assert_eq!(tree.len(), model.len());
+        let got: Vec<_> = tree.iter().map(|(k, v)| (k.to_vec(), *v)).collect();
+        let want: Vec<_> = model.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Bloom filters never report a false negative, under any key set.
+    #[test]
+    fn bloom_no_false_negatives(keys in vec(key_strategy(), 0..200), bits in 4usize..16) {
+        let mut bloom = Bloom::with_capacity(keys.len(), bits);
+        for k in &keys {
+            bloom.insert(k);
+        }
+        for k in &keys {
+            prop_assert!(bloom.maybe_contains(k));
+        }
+        // And serialisation is lossless.
+        let reparsed = Bloom::from_bytes(&bloom.to_bytes()).unwrap();
+        prop_assert_eq!(bloom, reparsed);
+    }
+
+    /// The LRU cache never exceeds its byte capacity and always retains the
+    /// most recently inserted small entry.
+    #[test]
+    fn lru_capacity_invariant(
+        capacity in 16u64..256,
+        ops in vec((key_strategy(), vec(any::<u8>(), 0..64)), 1..200),
+    ) {
+        let mut cache = LruCache::new(capacity);
+        for (k, v) in &ops {
+            cache.insert(k, CacheEntry::value(Bytes::copy_from_slice(v)));
+            prop_assert!(cache.bytes() <= capacity, "bytes {} > cap {}", cache.bytes(), capacity);
+            if (k.len() + v.len()) as u64 <= capacity {
+                prop_assert!(cache.peek(k).is_some(), "fitting entry must be cached");
+            } else {
+                prop_assert!(cache.peek(k).is_none(), "oversized entry must not be cached");
+            }
+        }
+    }
+
+    /// The lock-free bounded queue is FIFO under single-threaded use for
+    /// arbitrary push/pop interleavings.
+    #[test]
+    fn queue_fifo(ops in vec(any::<bool>(), 0..400)) {
+        let q = BoundedQueue::new(16);
+        let mut model = std::collections::VecDeque::new();
+        let mut next = 0u32;
+        for push in ops {
+            if push {
+                if q.try_push(next).is_ok() {
+                    model.push_back(next);
+                }
+                next += 1;
+            } else {
+                prop_assert_eq!(q.try_pop(), model.pop_front());
+            }
+            prop_assert_eq!(q.len(), model.len());
+        }
+    }
+
+    /// MemTable byte accounting is exact under arbitrary workloads.
+    #[test]
+    fn memtable_byte_accounting(ops in vec((key_strategy(), vec(any::<u8>(), 0..32), any::<bool>()), 0..200)) {
+        let mut mt = MemTable::new();
+        let mut model: std::collections::BTreeMap<Vec<u8>, (Vec<u8>, bool)> = Default::default();
+        for (k, v, tomb) in &ops {
+            let entry = if *tomb {
+                Entry::tombstone()
+            } else {
+                Entry::value(Bytes::copy_from_slice(v))
+            };
+            mt.insert(k, entry);
+            model.insert(k.clone(), (if *tomb { vec![] } else { v.clone() }, *tomb));
+        }
+        let expected: u64 = model
+            .iter()
+            .map(|(k, (v, _))| (k.len() + v.len()) as u64 + papyruskv::memtable::ENTRY_OVERHEAD)
+            .sum();
+        prop_assert_eq!(mt.bytes(), expected);
+        prop_assert_eq!(mt.len(), model.len());
+    }
+
+    /// SSTables roundtrip arbitrary entry sets: build then read back every
+    /// key via both search modes, and scan_all returns the input.
+    #[test]
+    fn sstable_roundtrip(entries_in in prop::collection::btree_map(key_strategy(), (vec(any::<u8>(), 0..64), any::<bool>()), 0..60)) {
+        let store = papyrus_nvm::NvmStore::in_memory(papyrus_simtime::DeviceModel::dram());
+        let entries: Vec<(Vec<u8>, Entry)> = entries_in
+            .iter()
+            .map(|(k, (v, tomb))| {
+                let e = if *tomb {
+                    Entry::tombstone()
+                } else {
+                    Entry::value(Bytes::copy_from_slice(v))
+                };
+                (k.clone(), e)
+            })
+            .collect();
+        let (reader, _) = sstable::build_at(&store, "prop/sst", 1, &entries, 0);
+        for (k, (v, tomb)) in &entries_in {
+            for bin in [true, false] {
+                let (got, _) = reader.get_at(k, bin, 0);
+                if *tomb {
+                    prop_assert_eq!(got, sstable::SstGet::Tombstone);
+                } else {
+                    prop_assert_eq!(got, sstable::SstGet::Found(Bytes::copy_from_slice(v)));
+                }
+            }
+        }
+        let (scanned, _) = reader.scan_all_at(0).unwrap();
+        prop_assert_eq!(scanned.len(), entries.len());
+        // Reopen from storage and confirm identity.
+        let (reopened, _) = sstable::SstReader::open_at(&store, "prop/sst", 1, 0).unwrap();
+        prop_assert_eq!(reopened.len(), reader.len());
+    }
+
+    /// Wire-format messages roundtrip arbitrary payloads, and corrupt
+    /// buffers never panic (they error).
+    #[test]
+    fn msg_roundtrip_and_fuzz(
+        records in vec((key_strategy(), vec(any::<u8>(), 0..64), any::<bool>()), 0..20),
+        junk in vec(any::<u8>(), 0..64),
+    ) {
+        let kv: Vec<msg::KvRecord> = records
+            .iter()
+            .map(|(k, v, t)| msg::KvRecord {
+                key: k.clone(),
+                value: Bytes::copy_from_slice(v),
+                tombstone: *t,
+            })
+            .collect();
+        let (db, got) = msg::decode_migrate(msg::encode_migrate(9, &kv)).unwrap();
+        prop_assert_eq!(db, 9);
+        prop_assert_eq!(got, kv);
+        // Fuzz all decoders with junk: must not panic.
+        let b = Bytes::from(junk);
+        let _ = msg::decode_migrate(b.clone());
+        let _ = msg::decode_put_sync(b.clone());
+        let _ = msg::decode_get_req(b.clone());
+        let _ = msg::decode_get_resp(b.clone());
+        let _ = msg::decode_barrier_mark(b);
+    }
+
+    /// The built-in hash distributor assigns every key to a valid rank and
+    /// is stable.
+    #[test]
+    fn distributor_total_and_stable(keys in vec(key_strategy(), 1..100), n in 1usize..64) {
+        let d = papyruskv::hashfn::Distributor::new(None, n);
+        for k in &keys {
+            let owner = d.owner(k);
+            prop_assert!(owner < n);
+            prop_assert_eq!(owner, d.owner(k));
+        }
+    }
+}

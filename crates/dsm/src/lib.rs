@@ -1,0 +1,356 @@
+//! # papyrus-dsm
+//!
+//! A UPC-style distributed-shared-memory (PGAS) substrate: the baseline the
+//! paper compares PapyrusKV against for the Meraculous assembler (§5.2,
+//! Figure 13).
+//!
+//! Unified Parallel C presents a single global address space over
+//! distributed memory; Meraculous implements its de Bruijn graph as a
+//! distributed hash table whose accesses compile down to *one-sided* RDMA
+//! gets/puts and built-in remote atomics — no software handler on the
+//! remote side, which is exactly the advantage the paper measures during
+//! graph traversal ("UPC shows better performance than PapyrusKV due to its
+//! RDMA capability and built-in remote atomic operations").
+//!
+//! This crate reproduces that mechanism in-process:
+//!
+//! * [`GlobalHashTable`] — a hash table partitioned across ranks by key
+//!   affinity (like `upc_all_alloc`-ed buckets). Remote accesses touch the
+//!   owner's memory directly (threads share an address space) and are
+//!   charged one-sided RDMA costs (`NetModel::rdma_ns`), lower than the
+//!   two-sided message costs PapyrusKV pays.
+//! * Remote atomics — [`GlobalHashTable::try_claim`] is the
+//!   compare-and-swap a traversal uses to claim a vertex exactly once.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use papyrus_mpi::RankCtx;
+use papyrus_simtime::{MemModel, NetModel, Resource};
+
+/// One stored entry: a value plus a claim flag (Meraculous' `used_flag`).
+#[derive(Debug, Clone)]
+struct Slot {
+    key: Vec<u8>,
+    value: Bytes,
+    claimed: bool,
+}
+
+/// One rank's partition: chained buckets under fine-grained locks (UPC
+/// programs guard hash-table buckets with `upc_lock_t` the same way).
+struct Segment {
+    buckets: Vec<Mutex<Vec<Slot>>>,
+}
+
+impl Segment {
+    fn new(n_buckets: usize) -> Self {
+        Self { buckets: (0..n_buckets).map(|_| Mutex::new(Vec::new())).collect() }
+    }
+}
+
+/// The shared (world-wide) state of a [`GlobalHashTable`]: build once with
+/// [`GlobalHashTable::shared`] outside the SPMD closure, then `attach` per
+/// rank.
+pub struct DsmShared {
+    segments: Vec<Segment>,
+    nics: Vec<Resource>,
+    net: NetModel,
+    mem: MemModel,
+    buckets_per_rank: usize,
+}
+
+/// Per-rank handle to a distributed hash table in the global address space.
+#[derive(Clone)]
+pub struct GlobalHashTable {
+    shared: Arc<DsmShared>,
+    rank: RankCtx,
+}
+
+/// FNV-1a over the key — the affinity function (UPC applications pick their
+/// own; Meraculous hashes the k-mer).
+fn fnv(key: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    // Avalanche so both rank and bucket selection are well mixed.
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51afd7ed558ccd);
+    h ^ (h >> 33)
+}
+
+impl GlobalHashTable {
+    /// Build the shared state for `n_ranks` ranks with `buckets_per_rank`
+    /// buckets each.
+    pub fn shared(
+        n_ranks: usize,
+        buckets_per_rank: usize,
+        net: NetModel,
+        mem: MemModel,
+    ) -> Arc<DsmShared> {
+        assert!(n_ranks > 0 && buckets_per_rank > 0);
+        Arc::new(DsmShared {
+            segments: (0..n_ranks).map(|_| Segment::new(buckets_per_rank)).collect(),
+            nics: (0..n_ranks).map(|_| Resource::new()).collect(),
+            net,
+            mem,
+            buckets_per_rank,
+        })
+    }
+
+    /// Attach this rank to the shared table.
+    pub fn attach(shared: Arc<DsmShared>, rank: RankCtx) -> Self {
+        assert_eq!(shared.segments.len(), rank.size(), "shared state built for another world");
+        Self { shared, rank }
+    }
+
+    /// Owner rank of `key` (thread-data affinity).
+    pub fn owner_of(&self, key: &[u8]) -> usize {
+        (fnv(key) % self.shared.segments.len() as u64) as usize
+    }
+
+    fn bucket_of(&self, key: &[u8]) -> usize {
+        ((fnv(key) >> 32) as usize) % self.shared.buckets_per_rank
+    }
+
+    /// Charge a one-sided access of `bytes` to/from `owner`; returns after
+    /// merging the completion stamp into the caller's clock (one-sided ops
+    /// are synchronous at the caller).
+    fn charge(&self, owner: usize, bytes: u64) {
+        let clock = self.rank.clock();
+        let me = self.rank.rank();
+        if owner == me {
+            clock.advance(self.shared.mem.op_ns(bytes));
+            return;
+        }
+        let cost = self.shared.net.rdma_ns(bytes);
+        // The transfer occupies the remote NIC (contention — incast during
+        // graph construction — emerges from the shared resource); the wire
+        // latency is pipelined and does not hold the NIC.
+        let occupancy = cost.saturating_sub(self.shared.net.rdma_latency);
+        let done = self.shared.nics[owner].submit_with_occupancy(clock.now(), cost, occupancy);
+        clock.merge(done);
+    }
+
+    /// One-sided put: insert or overwrite `key`.
+    pub fn put(&self, key: &[u8], value: &[u8]) {
+        let owner = self.owner_of(key);
+        self.charge(owner, (key.len() + value.len()) as u64);
+        let bucket = &self.shared.segments[owner].buckets[self.bucket_of(key)];
+        let mut b = bucket.lock();
+        match b.iter_mut().find(|s| s.key == key) {
+            Some(slot) => slot.value = Bytes::copy_from_slice(value),
+            None => b.push(Slot { key: key.to_vec(), value: Bytes::copy_from_slice(value), claimed: false }),
+        }
+    }
+
+    /// One-sided insert-if-absent; returns whether the key was inserted.
+    pub fn insert_if_absent(&self, key: &[u8], value: &[u8]) -> bool {
+        let owner = self.owner_of(key);
+        self.charge(owner, (key.len() + value.len()) as u64);
+        let bucket = &self.shared.segments[owner].buckets[self.bucket_of(key)];
+        let mut b = bucket.lock();
+        if b.iter().any(|s| s.key == key) {
+            return false;
+        }
+        b.push(Slot { key: key.to_vec(), value: Bytes::copy_from_slice(value), claimed: false });
+        true
+    }
+
+    /// One-sided get.
+    pub fn get(&self, key: &[u8]) -> Option<Bytes> {
+        let owner = self.owner_of(key);
+        let bucket = &self.shared.segments[owner].buckets[self.bucket_of(key)];
+        let found = bucket.lock().iter().find(|s| s.key == key).map(|s| s.value.clone());
+        let bytes = key.len() as u64 + found.as_ref().map_or(0, |v| v.len() as u64);
+        self.charge(owner, bytes);
+        found
+    }
+
+    /// Remote atomic: claim `key` exactly once (compare-and-swap on the
+    /// claim flag). Returns `true` iff this caller performed the claim.
+    /// Atomics are latency-bound: charged as an 8-byte RDMA.
+    pub fn try_claim(&self, key: &[u8]) -> bool {
+        let owner = self.owner_of(key);
+        self.charge(owner, 8);
+        let bucket = &self.shared.segments[owner].buckets[self.bucket_of(key)];
+        let mut b = bucket.lock();
+        match b.iter_mut().find(|s| s.key == key) {
+            Some(slot) if !slot.claimed => {
+                slot.claimed = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Reset every claim flag (between traversal phases).
+    pub fn reset_claims(&self) {
+        for seg in &self.shared.segments {
+            for bucket in &seg.buckets {
+                for slot in bucket.lock().iter_mut() {
+                    slot.claimed = false;
+                }
+            }
+        }
+    }
+
+    /// Total entries across all ranks (collective-ish diagnostic; callers
+    /// should barrier first).
+    pub fn global_len(&self) -> usize {
+        self.shared
+            .segments
+            .iter()
+            .flat_map(|s| s.buckets.iter())
+            .map(|b| b.lock().len())
+            .sum()
+    }
+
+    /// Keys owned by this rank (for owner-partitioned traversal seeds).
+    pub fn local_keys(&self) -> Vec<Vec<u8>> {
+        let me = self.rank.rank();
+        self.shared.segments[me]
+            .buckets
+            .iter()
+            .flat_map(|b| b.lock().iter().map(|s| s.key.clone()).collect::<Vec<_>>())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use papyrus_mpi::{World, WorldConfig};
+
+    fn world(n: usize) -> (Arc<DsmShared>, WorldConfig) {
+        (
+            GlobalHashTable::shared(n, 1024, NetModel::free(), MemModel::free()),
+            WorldConfig::for_tests(n),
+        )
+    }
+
+    #[test]
+    fn put_get_across_ranks() {
+        let (shared, cfg) = world(4);
+        World::run(cfg, move |rank| {
+            let t = GlobalHashTable::attach(shared.clone(), rank.clone());
+            for i in 0..100 {
+                t.put(format!("r{}k{i}", rank.rank()).as_bytes(), &[rank.rank() as u8, i as u8]);
+            }
+            rank.world().barrier();
+            for r in 0..rank.size() {
+                for i in 0..100 {
+                    let v = t.get(format!("r{r}k{i}").as_bytes()).expect("present");
+                    assert_eq!(&v[..], &[r as u8, i as u8]);
+                }
+            }
+            assert!(t.get(b"missing").is_none());
+        });
+    }
+
+    #[test]
+    fn overwrite_and_insert_if_absent() {
+        let (shared, cfg) = world(2);
+        World::run(cfg, move |rank| {
+            let t = GlobalHashTable::attach(shared.clone(), rank.clone());
+            if rank.rank() == 0 {
+                t.put(b"k", b"first");
+                assert!(!t.insert_if_absent(b"k", b"second"));
+                assert_eq!(&t.get(b"k").unwrap()[..], b"first");
+                t.put(b"k", b"third");
+                assert_eq!(&t.get(b"k").unwrap()[..], b"third");
+                assert!(t.insert_if_absent(b"fresh", b"1"));
+            }
+        });
+    }
+
+    #[test]
+    fn claims_are_exactly_once_across_ranks() {
+        let (shared, cfg) = world(4);
+        let claims = World::run(cfg, move |rank| {
+            let t = GlobalHashTable::attach(shared.clone(), rank.clone());
+            if rank.rank() == 0 {
+                for i in 0..200 {
+                    t.put(format!("c{i}").as_bytes(), b"x");
+                }
+            }
+            rank.world().barrier();
+            // Everyone races to claim every key.
+            let mut mine = 0;
+            for i in 0..200 {
+                if t.try_claim(format!("c{i}").as_bytes()) {
+                    mine += 1;
+                }
+            }
+            mine
+        });
+        assert_eq!(claims.iter().sum::<usize>(), 200, "each key claimed exactly once");
+    }
+
+    #[test]
+    fn claim_missing_key_is_false() {
+        let (shared, cfg) = world(1);
+        World::run(cfg, move |rank| {
+            let t = GlobalHashTable::attach(shared.clone(), rank);
+            assert!(!t.try_claim(b"ghost"));
+        });
+    }
+
+    #[test]
+    fn reset_claims_allows_reclaim() {
+        let (shared, cfg) = world(1);
+        World::run(cfg, move |rank| {
+            let t = GlobalHashTable::attach(shared.clone(), rank);
+            t.put(b"k", b"v");
+            assert!(t.try_claim(b"k"));
+            assert!(!t.try_claim(b"k"));
+            t.reset_claims();
+            assert!(t.try_claim(b"k"));
+        });
+    }
+
+    #[test]
+    fn local_keys_partition_the_table() {
+        let (shared, cfg) = world(3);
+        let locals = World::run(cfg, move |rank| {
+            let t = GlobalHashTable::attach(shared.clone(), rank.clone());
+            if rank.rank() == 0 {
+                for i in 0..300 {
+                    t.put(format!("p{i}").as_bytes(), b"v");
+                }
+            }
+            rank.world().barrier();
+            assert_eq!(t.global_len(), 300);
+            t.local_keys().len()
+        });
+        assert_eq!(locals.iter().sum::<usize>(), 300);
+        assert!(locals.iter().all(|&l| l > 0), "affinity should spread keys: {locals:?}");
+    }
+
+    #[test]
+    fn rdma_costs_charged_remote_only() {
+        let shared =
+            GlobalHashTable::shared(2, 64, NetModel::infiniband_edr(), MemModel::free());
+        let times = World::run(WorldConfig::new(2, NetModel::infiniband_edr()), move |rank| {
+            let t = GlobalHashTable::attach(shared.clone(), rank.clone());
+            if rank.rank() == 0 {
+                // Half the keys land remote; RDMA latency must accrue.
+                for i in 0..100 {
+                    t.put(format!("q{i}").as_bytes(), &[0u8; 64]);
+                }
+            }
+            rank.now()
+        });
+        assert!(times[0] > 0);
+        assert_eq!(times[1], 0, "remote side pays nothing for one-sided ops");
+    }
+
+    #[test]
+    fn rdma_cheaper_than_two_sided_round_trip() {
+        let net = NetModel::infiniband_edr();
+        // A one-sided get of 64B vs. a request+response message pair.
+        assert!(net.rdma_ns(64) < 2 * net.msg_ns(64));
+    }
+}

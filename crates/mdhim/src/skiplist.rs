@@ -1,0 +1,290 @@
+//! A LevelDB-style skiplist: the MiniLdb MemTable index.
+//!
+//! LevelDB's MemTable is a probabilistic skiplist; reimplementing it (rather
+//! than reusing PapyrusKV's red-black tree) keeps the two KVS stacks'
+//! local stores genuinely distinct, as in the paper's comparison.
+
+use bytes::Bytes;
+
+const MAX_LEVEL: usize = 12;
+const NIL: usize = usize::MAX;
+
+struct Node {
+    key: Vec<u8>,
+    value: Option<Bytes>,
+    /// Forward pointers, one per level the node participates in.
+    next: Vec<usize>,
+}
+
+/// A byte-key ordered map with O(log n) expected insert/lookup, implemented
+/// as an arena skiplist with a deterministic xorshift level generator.
+pub struct SkipList {
+    nodes: Vec<Node>,
+    /// Head forward pointers per level.
+    head: [usize; MAX_LEVEL],
+    level: usize,
+    len: usize,
+    bytes: u64,
+    rng: u64,
+}
+
+impl Default for SkipList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SkipList {
+    /// Empty list.
+    pub fn new() -> Self {
+        Self {
+            nodes: Vec::new(),
+            head: [NIL; MAX_LEVEL],
+            level: 1,
+            len: 0,
+            bytes: 0,
+            rng: 0x9E3779B97F4A7C15,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Approximate payload bytes held (key + value).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn random_level(&mut self) -> usize {
+        // xorshift64*; each level has probability 1/4, like LevelDB.
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        let mut lvl = 1;
+        let mut x = self.rng;
+        while lvl < MAX_LEVEL && (x & 3) == 0 {
+            lvl += 1;
+            x >>= 2;
+        }
+        lvl
+    }
+
+    /// Next pointer of `node` (or the head when `node == NIL`) at `level`.
+    fn fwd(&self, node: usize, level: usize) -> usize {
+        if node == NIL {
+            self.head[level]
+        } else {
+            self.nodes[node].next[level]
+        }
+    }
+
+    fn set_fwd(&mut self, node: usize, level: usize, to: usize) {
+        if node == NIL {
+            self.head[level] = to;
+        } else {
+            self.nodes[node].next[level] = to;
+        }
+    }
+
+    /// Insert or replace. `value = None` stores a deletion marker (LevelDB
+    /// encodes deletes as marker entries in the MemTable).
+    pub fn insert(&mut self, key: &[u8], value: Option<Bytes>) {
+        let mut update = [NIL; MAX_LEVEL];
+        let mut x = NIL;
+        for lvl in (0..self.level).rev() {
+            loop {
+                let nxt = self.fwd(x, lvl);
+                if nxt != NIL && self.nodes[nxt].key.as_slice() < key {
+                    x = nxt;
+                } else {
+                    break;
+                }
+            }
+            update[lvl] = x;
+        }
+        let candidate = self.fwd(x, 0);
+        if candidate != NIL && self.nodes[candidate].key.as_slice() == key {
+            // Replace in place.
+            let old = self.nodes[candidate].value.take();
+            self.bytes -= old.map_or(0, |v| v.len() as u64);
+            self.bytes += value.as_ref().map_or(0, |v| v.len() as u64);
+            self.nodes[candidate].value = value;
+            return;
+        }
+        let lvl = self.random_level();
+        if lvl > self.level {
+            for l in self.level..lvl {
+                update[l] = NIL;
+            }
+            self.level = lvl;
+        }
+        let idx = self.nodes.len();
+        let mut next = vec![NIL; lvl];
+        for (l, nxt) in next.iter_mut().enumerate() {
+            *nxt = self.fwd(update[l], l);
+        }
+        self.bytes += key.len() as u64 + value.as_ref().map_or(0, |v| v.len() as u64);
+        self.nodes.push(Node { key: key.to_vec(), value, next });
+        for l in 0..lvl {
+            self.set_fwd(update[l], l, idx);
+        }
+        self.len += 1;
+    }
+
+    /// Look up a key. `Some(None)` means a deletion marker; `None` means the
+    /// key was never written to this MemTable.
+    pub fn get(&self, key: &[u8]) -> Option<Option<&Bytes>> {
+        let mut x = NIL;
+        for lvl in (0..self.level).rev() {
+            loop {
+                let nxt = self.fwd(x, lvl);
+                if nxt != NIL && self.nodes[nxt].key.as_slice() < key {
+                    x = nxt;
+                } else {
+                    break;
+                }
+            }
+        }
+        let candidate = self.fwd(x, 0);
+        if candidate != NIL && self.nodes[candidate].key.as_slice() == key {
+            Some(self.nodes[candidate].value.as_ref())
+        } else {
+            None
+        }
+    }
+
+    /// Key-sorted iteration over `(key, value-or-marker)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], Option<&Bytes>)> {
+        SkipIter { list: self, cur: self.head[0] }
+    }
+
+    /// Drain into a key-sorted vector, leaving the list empty.
+    pub fn drain_sorted(&mut self) -> Vec<(Vec<u8>, Option<Bytes>)> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut cur = self.head[0];
+        while cur != NIL {
+            let node = &mut self.nodes[cur];
+            out.push((std::mem::take(&mut node.key), node.value.take()));
+            cur = node.next[0];
+        }
+        *self = Self::new();
+        out
+    }
+}
+
+struct SkipIter<'a> {
+    list: &'a SkipList,
+    cur: usize,
+}
+
+impl<'a> Iterator for SkipIter<'a> {
+    type Item = (&'a [u8], Option<&'a Bytes>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cur == NIL {
+            return None;
+        }
+        let node = &self.list.nodes[self.cur];
+        self.cur = node.next[0];
+        Some((node.key.as_slice(), node.value.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn insert_get_basic() {
+        let mut s = SkipList::new();
+        assert!(s.is_empty());
+        s.insert(b"b", Some(b("2")));
+        s.insert(b"a", Some(b("1")));
+        assert_eq!(s.get(b"a").unwrap().unwrap().as_ref(), b"1");
+        assert_eq!(s.get(b"b").unwrap().unwrap().as_ref(), b"2");
+        assert!(s.get(b"c").is_none());
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn replace_keeps_len_updates_bytes() {
+        let mut s = SkipList::new();
+        s.insert(b"k", Some(b("12345")));
+        let before = s.bytes();
+        s.insert(b"k", Some(b("1")));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.bytes(), before - 4);
+        assert_eq!(s.get(b"k").unwrap().unwrap().as_ref(), b"1");
+    }
+
+    #[test]
+    fn deletion_markers_distinct_from_missing() {
+        let mut s = SkipList::new();
+        s.insert(b"dead", None);
+        assert_eq!(s.get(b"dead"), Some(None));
+        assert_eq!(s.get(b"never"), None);
+    }
+
+    #[test]
+    fn iteration_sorted() {
+        let mut s = SkipList::new();
+        for k in ["m", "a", "z", "c", "q"] {
+            s.insert(k.as_bytes(), Some(b(k)));
+        }
+        let keys: Vec<&[u8]> = s.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![&b"a"[..], b"c", b"m", b"q", b"z"]);
+    }
+
+    #[test]
+    fn drain_sorted_empties() {
+        let mut s = SkipList::new();
+        for i in (0..100u32).rev() {
+            s.insert(format!("{i:03}").as_bytes(), Some(b("v")));
+        }
+        let v = s.drain_sorted();
+        assert_eq!(v.len(), 100);
+        assert!(v.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(s.is_empty());
+        assert_eq!(s.bytes(), 0);
+        // Usable after drain.
+        s.insert(b"x", Some(b("1")));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn large_scale_against_btreemap() {
+        let mut s = SkipList::new();
+        let mut model = std::collections::BTreeMap::new();
+        let mut x = 0xABCDEFu64;
+        for _ in 0..5000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let k = format!("{:04}", (x >> 30) % 800);
+            if (x >> 10) % 4 == 0 {
+                s.insert(k.as_bytes(), None);
+                model.insert(k, None);
+            } else {
+                let v = b(&format!("{}", x % 97));
+                s.insert(k.as_bytes(), Some(v.clone()));
+                model.insert(k, Some(v));
+            }
+        }
+        assert_eq!(s.len(), model.len());
+        for (k, v) in &model {
+            assert_eq!(s.get(k.as_bytes()).unwrap(), v.as_ref());
+        }
+        let got: Vec<Vec<u8>> = s.iter().map(|(k, _)| k.to_vec()).collect();
+        let want: Vec<Vec<u8>> = model.keys().map(|k| k.clone().into_bytes()).collect();
+        assert_eq!(got, want);
+    }
+}

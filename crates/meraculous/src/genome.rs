@@ -1,0 +1,135 @@
+//! Synthetic genome and read generation.
+//!
+//! The paper's Meraculous evaluation uses the *human chr14* APEX dataset,
+//! which is not redistributable here; these generators produce synthetic
+//! genomes with a controlled repeat structure so the de Bruijn graph breaks
+//! into a realistic number of contigs, plus error-free shotgun reads at a
+//! configurable coverage.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The DNA alphabet.
+pub const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+
+/// Parameters for synthetic genome/read generation.
+#[derive(Debug, Clone)]
+pub struct GenomeConfig {
+    /// Genome length in bases.
+    pub length: usize,
+    /// Number of exact repeat blocks planted (each breaks contigs at its
+    /// boundaries, like real genomic repeats).
+    pub repeats: usize,
+    /// Length of each planted repeat block (must exceed k to cause forks).
+    pub repeat_len: usize,
+    /// Read length for shotgun sampling.
+    pub read_len: usize,
+    /// Mean coverage (reads overlap so every k-mer is seen `coverage`×).
+    pub coverage: usize,
+    /// RNG seed (generation is fully deterministic).
+    pub seed: u64,
+}
+
+impl Default for GenomeConfig {
+    fn default() -> Self {
+        Self { length: 100_000, repeats: 20, repeat_len: 64, read_len: 150, coverage: 8, seed: 42 }
+    }
+}
+
+/// Generate a random genome with planted repeats.
+pub fn synthesize_genome(cfg: &GenomeConfig) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut genome: Vec<u8> =
+        (0..cfg.length).map(|_| BASES[rng.gen_range(0..4)]).collect();
+    if cfg.repeats > 0 && cfg.repeat_len > 0 && cfg.length > 4 * cfg.repeat_len {
+        // Plant copies of one repeat block at random positions.
+        let block: Vec<u8> =
+            (0..cfg.repeat_len).map(|_| BASES[rng.gen_range(0..4)]).collect();
+        for _ in 0..cfg.repeats {
+            let pos = rng.gen_range(0..cfg.length - cfg.repeat_len);
+            genome[pos..pos + cfg.repeat_len].copy_from_slice(&block);
+        }
+    }
+    genome
+}
+
+/// Sample error-free shotgun reads covering the genome.
+///
+/// Reads tile the genome with a stride of `read_len / coverage`, plus one
+/// final read flush with the genome end, so every position is covered and
+/// every interior k-mer appears in at least one read.
+pub fn synthesize_reads(genome: &[u8], cfg: &GenomeConfig) -> Vec<Vec<u8>> {
+    let read_len = cfg.read_len.min(genome.len());
+    let stride = (read_len / cfg.coverage.max(1)).max(1);
+    let mut reads = Vec::new();
+    let mut pos = 0;
+    while pos + read_len <= genome.len() {
+        reads.push(genome[pos..pos + read_len].to_vec());
+        pos += stride;
+    }
+    if genome.len() >= read_len {
+        reads.push(genome[genome.len() - read_len..].to_vec());
+    }
+    reads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genome_is_deterministic_and_dna() {
+        let cfg = GenomeConfig { length: 5000, ..Default::default() };
+        let a = synthesize_genome(&cfg);
+        let b = synthesize_genome(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5000);
+        assert!(a.iter().all(|c| BASES.contains(c)));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = synthesize_genome(&GenomeConfig { seed: 1, ..Default::default() });
+        let b = synthesize_genome(&GenomeConfig { seed: 2, ..Default::default() });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn repeats_are_planted() {
+        let cfg = GenomeConfig { length: 20_000, repeats: 5, repeat_len: 50, ..Default::default() };
+        let g = synthesize_genome(&cfg);
+        // Find a 50-mer occurring more than once.
+        let mut counts = std::collections::HashMap::new();
+        for w in g.windows(50) {
+            *counts.entry(w.to_vec()).or_insert(0usize) += 1;
+        }
+        assert!(counts.values().any(|&c| c >= 2), "planted repeats must recur");
+    }
+
+    #[test]
+    fn reads_cover_genome() {
+        let cfg = GenomeConfig { length: 3000, read_len: 100, coverage: 4, ..Default::default() };
+        let g = synthesize_genome(&cfg);
+        let reads = synthesize_reads(&g, &cfg);
+        assert!(!reads.is_empty());
+        assert!(reads.iter().all(|r| r.len() == 100));
+        // Coverage: stride 25 over 3000 bases → ~116 reads.
+        assert!(reads.len() >= (3000 - 100) / 25);
+        // Every read is a genome substring.
+        for r in reads.iter().take(20) {
+            assert!(g.windows(r.len()).any(|w| w == r.as_slice()));
+        }
+        // First and last positions covered.
+        assert_eq!(&reads[0][..10], &g[..10]);
+        assert_eq!(reads.last().unwrap().as_slice(), &g[g.len() - 100..]);
+    }
+
+    #[test]
+    fn tiny_genome_handled() {
+        let cfg = GenomeConfig { length: 50, read_len: 100, coverage: 2, repeats: 0, ..Default::default() };
+        let g = synthesize_genome(&cfg);
+        let reads = synthesize_reads(&g, &cfg);
+        assert!(!reads.is_empty());
+        assert!(reads[0].len() <= 50);
+    }
+}

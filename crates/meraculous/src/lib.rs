@@ -1,0 +1,38 @@
+//! # meraculous
+//!
+//! A Meraculous-style de novo assembler kernel (Georganas et al., SC'14):
+//! the real HPC application the paper uses for its final evaluation (§5.2,
+//! Figures 12-13).
+//!
+//! The kernel builds a de Bruijn graph as a *distributed hash table* whose
+//! keys are k-mers (overlapping substrings of length `k`) and whose values
+//! are two-letter extension codes `[ACGTXF][ACGTXF]` — the bases observed
+//! to the left and right of the k-mer in the reads (`X` = none seen, `F` =
+//! fork). Contig generation walks this table: start at a k-mer whose left
+//! extension terminates, repeatedly shift in the right extension, and stop
+//! at the next terminator.
+//!
+//! As in the paper's artifact, the assembler consumes a precomputed **UFX**
+//! dataset (the `human-chr14.txt.ufx.bin` input): deduplicated k-mer +
+//! extension records produced from the reads up front. This crate
+//! synthesises genomes, reads, and UFX datasets
+//! ([`ufx::build_dataset`]) — the real chr14 input is not redistributable —
+//! and implements the graph construction/traversal twice:
+//!
+//! * [`PkvBackend`] — k-mers in a PapyrusKV database with the application's
+//!   own hash installed as the custom hash, so thread-data affinity matches
+//!   the UPC version exactly (Figure 12);
+//! * [`DsmBackend`] — the UPC baseline on `papyrus-dsm` one-sided
+//!   operations.
+//!
+//! [`verify::check_contigs`] cross-checks the two (same contig sets, each a
+//! substring of the genome) — the artifact's `check_results.sh`.
+
+pub mod assemble;
+pub mod genome;
+pub mod ufx;
+pub mod verify;
+
+pub use assemble::{construct, traverse, DsmBackend, KmerBackend, PkvBackend};
+pub use genome::{synthesize_genome, synthesize_reads, GenomeConfig};
+pub use ufx::{build_dataset, UfxRecord, EXT_FORK, EXT_NONE};

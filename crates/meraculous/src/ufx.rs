@@ -1,0 +1,141 @@
+//! UFX dataset construction: k-mers with extension codes.
+//!
+//! Meraculous preprocesses reads into a UFX file — deduplicated k-mer
+//! records, each carrying a two-letter extension code: the base observed to
+//! the left and to the right of the k-mer across all reads. `X` marks "no
+//! extension seen" (the k-mer starts/ends every read it appears in), `F`
+//! marks a fork (different reads disagree, i.e. a repeat boundary). The
+//! paper's artifact feeds the assembler a prebuilt `*.ufx.bin`; this module
+//! is the equivalent generator for synthetic data.
+
+use std::collections::HashMap;
+
+/// "No extension observed" marker.
+pub const EXT_NONE: u8 = b'X';
+/// "Conflicting extensions" (fork) marker.
+pub const EXT_FORK: u8 = b'F';
+
+/// One UFX record: a k-mer and its left/right extension code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UfxRecord {
+    /// The k-mer bytes (length k, alphabet ACGT).
+    pub kmer: Vec<u8>,
+    /// `[left, right]` extension code, each in `ACGTXF`.
+    pub ext: [u8; 2],
+}
+
+/// Merge an observed extension base into an accumulated code letter.
+fn merge_ext(current: u8, observed: u8) -> u8 {
+    match current {
+        EXT_NONE => observed,
+        EXT_FORK => EXT_FORK,
+        c if c == observed => c,
+        _ => EXT_FORK,
+    }
+}
+
+/// Build the deduplicated UFX dataset from reads.
+///
+/// Deterministic: records are sorted by k-mer, and extension merging is
+/// commutative/associative, so the dataset is independent of read order —
+/// exactly like a UFX file both backends would load.
+pub fn build_dataset(reads: &[Vec<u8>], k: usize) -> Vec<UfxRecord> {
+    assert!(k >= 2, "k must be at least 2");
+    let mut map: HashMap<Vec<u8>, [u8; 2]> = HashMap::new();
+    for read in reads {
+        if read.len() < k {
+            continue;
+        }
+        for i in 0..=read.len() - k {
+            let kmer = &read[i..i + k];
+            let left = if i > 0 { read[i - 1] } else { EXT_NONE };
+            let right = if i + k < read.len() { read[i + k] } else { EXT_NONE };
+            let e = map.entry(kmer.to_vec()).or_insert([EXT_NONE, EXT_NONE]);
+            // A read-boundary X must not overwrite a real extension: only
+            // merge actual bases; X contributes nothing.
+            if left != EXT_NONE {
+                e[0] = merge_ext(e[0], left);
+            }
+            if right != EXT_NONE {
+                e[1] = merge_ext(e[1], right);
+            }
+        }
+    }
+    let mut records: Vec<UfxRecord> =
+        map.into_iter().map(|(kmer, ext)| UfxRecord { kmer, ext }).collect();
+    records.sort_by(|a, b| a.kmer.cmp(&b.kmer));
+    records
+}
+
+/// Whether a record starts a contig: nothing (or a fork) extends it to the
+/// left, so a rightward walk from here is maximal.
+pub fn is_contig_start(rec: &UfxRecord) -> bool {
+    rec.ext[0] == EXT_NONE || rec.ext[0] == EXT_FORK
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reads(rs: &[&str]) -> Vec<Vec<u8>> {
+        rs.iter().map(|r| r.as_bytes().to_vec()).collect()
+    }
+
+    #[test]
+    fn single_read_extensions() {
+        // Read ACGTA, k=3: ACG (X,T), CGT (A,A), GTA (C,X).
+        let ds = build_dataset(&reads(&["ACGTA"]), 3);
+        assert_eq!(ds.len(), 3);
+        let find = |k: &str| ds.iter().find(|r| r.kmer == k.as_bytes()).unwrap();
+        assert_eq!(find("ACG").ext, [EXT_NONE, b'T']);
+        assert_eq!(find("CGT").ext, [b'A', b'A']);
+        assert_eq!(find("GTA").ext, [b'C', EXT_NONE]);
+    }
+
+    #[test]
+    fn overlapping_reads_merge_consistently() {
+        // Two overlapping reads of the same genome region: the interior
+        // k-mer extensions fill in from whichever read sees them.
+        let ds = build_dataset(&reads(&["ACGTA", "CGTAC"]), 3);
+        let find = |k: &str| ds.iter().find(|r| r.kmer == k.as_bytes()).unwrap();
+        // GTA: right extension only visible in read 2.
+        assert_eq!(find("GTA").ext, [b'C', b'C']);
+    }
+
+    #[test]
+    fn conflicting_extension_forks() {
+        // ACG followed by T in one read and by A in another → right fork.
+        let ds = build_dataset(&reads(&["ACGT", "ACGA"]), 3);
+        let acg = ds.iter().find(|r| r.kmer == b"ACG").unwrap();
+        assert_eq!(acg.ext[1], EXT_FORK);
+    }
+
+    #[test]
+    fn dataset_sorted_and_dedup() {
+        let ds = build_dataset(&reads(&["ACGTACGT", "ACGTACGT"]), 4);
+        assert!(ds.windows(2).all(|w| w[0].kmer < w[1].kmer), "sorted, unique");
+    }
+
+    #[test]
+    fn read_order_does_not_matter() {
+        let a = build_dataset(&reads(&["ACGTAC", "GTACGT", "TACGTT"]), 3);
+        let b = build_dataset(&reads(&["TACGTT", "ACGTAC", "GTACGT"]), 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn short_reads_skipped() {
+        let ds = build_dataset(&reads(&["AC", "ACGT"]), 3);
+        assert_eq!(ds.len(), 2); // only from ACGT
+    }
+
+    #[test]
+    fn contig_start_detection() {
+        let start = UfxRecord { kmer: b"ACG".to_vec(), ext: [EXT_NONE, b'T'] };
+        let fork_start = UfxRecord { kmer: b"ACG".to_vec(), ext: [EXT_FORK, b'T'] };
+        let interior = UfxRecord { kmer: b"CGT".to_vec(), ext: [b'A', b'T'] };
+        assert!(is_contig_start(&start));
+        assert!(is_contig_start(&fork_start));
+        assert!(!is_contig_start(&interior));
+    }
+}

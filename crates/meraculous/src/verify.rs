@@ -1,0 +1,154 @@
+//! Result verification — the artifact's `check_results.sh` equivalent.
+
+/// Outcome of a contig cross-check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Number of contigs compared.
+    pub contigs: usize,
+    /// Total bases across contigs.
+    pub bases: usize,
+    /// Fraction of genome positions covered by some contig (0..=1, x1000).
+    pub coverage_permille: usize,
+}
+
+/// Errors a verification can surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The two backends produced different contig sets.
+    Mismatch { left: usize, right: usize },
+    /// A contig is not a substring of the genome.
+    NotASubstring { index: usize, len: usize },
+    /// Coverage fell below the required threshold.
+    LowCoverage { permille: usize, required: usize },
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::Mismatch { left, right } => {
+                write!(f, "contig sets differ: {left} vs {right} contigs")
+            }
+            VerifyError::NotASubstring { index, len } => {
+                write!(f, "contig #{index} (len {len}) is not a genome substring")
+            }
+            VerifyError::LowCoverage { permille, required } => {
+                write!(f, "coverage {permille}‰ below required {required}‰")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Compare two backends' contig sets (order-insensitive) and validate each
+/// contig against the genome, requiring at least `required_permille`
+/// (parts-per-thousand) of the genome covered.
+pub fn check_contigs(
+    genome: &[u8],
+    a: &[Vec<u8>],
+    b: &[Vec<u8>],
+    required_permille: usize,
+) -> Result<VerifyReport, VerifyError> {
+    let mut sa: Vec<&Vec<u8>> = a.iter().collect();
+    let mut sb: Vec<&Vec<u8>> = b.iter().collect();
+    sa.sort();
+    sb.sort();
+    if sa != sb {
+        return Err(VerifyError::Mismatch { left: a.len(), right: b.len() });
+    }
+    validate_against_genome(genome, a, required_permille)
+}
+
+/// Validate a single contig set against the genome.
+pub fn validate_against_genome(
+    genome: &[u8],
+    contigs: &[Vec<u8>],
+    required_permille: usize,
+) -> Result<VerifyReport, VerifyError> {
+    let mut covered = vec![false; genome.len()];
+    for (i, c) in contigs.iter().enumerate() {
+        let mut found = false;
+        if c.len() <= genome.len() {
+            for (pos, w) in genome.windows(c.len()).enumerate() {
+                if w == c.as_slice() {
+                    covered[pos..pos + c.len()].iter_mut().for_each(|x| *x = true);
+                    found = true;
+                    // Mark every occurrence (repeats appear multiple times).
+                    let _ = pos;
+                }
+            }
+        }
+        if !found {
+            return Err(VerifyError::NotASubstring { index: i, len: c.len() });
+        }
+    }
+    let hit = covered.iter().filter(|&&c| c).count();
+    let permille = if genome.is_empty() { 0 } else { hit * 1000 / genome.len() };
+    if permille < required_permille {
+        return Err(VerifyError::LowCoverage { permille, required: required_permille });
+    }
+    Ok(VerifyReport {
+        contigs: contigs.len(),
+        bases: contigs.iter().map(Vec::len).sum(),
+        coverage_permille: permille,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sets_pass() {
+        let genome = b"ACGTACGGTTACG".to_vec();
+        let a = vec![b"ACGTACG".to_vec(), b"GTTACG".to_vec()];
+        let b = vec![b"GTTACG".to_vec(), b"ACGTACG".to_vec()]; // different order
+        let report = check_contigs(&genome, &a, &b, 900).unwrap();
+        assert_eq!(report.contigs, 2);
+        assert!(report.coverage_permille >= 900);
+    }
+
+    #[test]
+    fn mismatch_detected() {
+        let genome = b"ACGTACG".to_vec();
+        let a = vec![b"ACGT".to_vec()];
+        let b = vec![b"TACG".to_vec()];
+        assert!(matches!(
+            check_contigs(&genome, &a, &b, 0),
+            Err(VerifyError::Mismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn foreign_contig_detected() {
+        let genome = b"ACGTACG".to_vec();
+        let a = vec![b"GGGGG".to_vec()];
+        assert!(matches!(
+            validate_against_genome(&genome, &a, 0),
+            Err(VerifyError::NotASubstring { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn low_coverage_detected() {
+        let genome = b"ACGTACGTACGTACGT".to_vec();
+        let a = vec![b"ACGT".to_vec()];
+        // ACGT covers the repeated occurrences, but require 100%.
+        let r = validate_against_genome(&genome, &a, 1000);
+        // ACGT occurs at positions 0,4,8,12 → covers everything; relax test:
+        // use a contig that covers only part.
+        let _ = r;
+        let b = vec![b"ACGTA".to_vec()];
+        assert!(matches!(
+            validate_against_genome(&genome, &b, 1000),
+            Err(VerifyError::LowCoverage { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_genome_edge_case() {
+        let report = validate_against_genome(b"", &[], 0).unwrap();
+        assert_eq!(report.contigs, 0);
+        assert_eq!(report.coverage_permille, 0);
+    }
+}

@@ -1,0 +1,288 @@
+//! Communicators: tagged point-to-point messaging plus collectives.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use papyrus_simtime::SimNs;
+
+use crate::fabric::{CommId, CommRecord, Envelope, Fabric};
+use crate::{Rank, Tag};
+
+/// Source selector for receives (`MPI_ANY_SOURCE` analogue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvSrc {
+    /// Match messages from any sender.
+    Any,
+    /// Match only messages from this comm rank.
+    Rank(Rank),
+}
+
+/// Tag selector for receives (`MPI_ANY_TAG` analogue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTag {
+    /// Match any tag.
+    Any,
+    /// Match only this tag.
+    Tag(Tag),
+}
+
+/// A received message.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Sender's rank within this communicator.
+    pub src: Rank,
+    /// Message tag.
+    pub tag: Tag,
+    /// Payload bytes (zero-copy shared).
+    pub payload: Bytes,
+    /// Virtual arrival timestamp (already merged into the receiving rank's
+    /// clock by the time the caller sees the message).
+    pub stamp: SimNs,
+}
+
+/// A communicator: a subset of world ranks with private message space.
+///
+/// Like MPI communicators, messages sent on one communicator can never be
+/// received on another, and each communicator has its own rank numbering.
+/// `Communicator` is `Clone` and `Send + Sync`; helper threads (PapyrusKV's
+/// message dispatcher and handler) clone the handle they are given.
+pub struct Communicator {
+    fabric: Arc<Fabric>,
+    id: CommId,
+    record: Arc<CommRecord>,
+    /// This handle's rank within the communicator.
+    me: Rank,
+    /// World rank backing `me` (for mailbox addressing and clock access).
+    me_world: Rank,
+    /// Per-parent sequence counter for deterministic child-comm creation.
+    next_child_seq: Arc<AtomicU64>,
+}
+
+impl Clone for Communicator {
+    fn clone(&self) -> Self {
+        Self {
+            fabric: self.fabric.clone(),
+            id: self.id,
+            record: self.record.clone(),
+            me: self.me,
+            me_world: self.me_world,
+            next_child_seq: self.next_child_seq.clone(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Communicator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Communicator")
+            .field("id", &self.id)
+            .field("rank", &self.me)
+            .field("size", &self.size())
+            .finish()
+    }
+}
+
+impl Communicator {
+    pub(crate) fn new(fabric: Arc<Fabric>, id: CommId, record: Arc<CommRecord>, me: Rank) -> Self {
+        let me_world = record.members[me];
+        Self {
+            fabric,
+            id,
+            record,
+            me,
+            me_world,
+            next_child_seq: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// This rank's index within the communicator.
+    pub fn rank(&self) -> Rank {
+        self.me
+    }
+
+    /// Number of members.
+    pub fn size(&self) -> usize {
+        self.record.members.len()
+    }
+
+    /// World rank of a communicator member.
+    pub fn world_rank_of(&self, comm_rank: Rank) -> Rank {
+        self.record.members[comm_rank]
+    }
+
+    /// Send `payload` to `dst` (comm rank) with `tag`.
+    ///
+    /// Charges the sender's virtual clock with the software send overhead and
+    /// the fabric with NIC/wire time; the computed arrival stamp travels with
+    /// the message and is merged into the receiver's clock on receipt.
+    pub fn send(&self, dst: Rank, tag: Tag, payload: impl Into<Bytes>) {
+        let payload = payload.into();
+        let dst_world = self.record.members[dst];
+        let clock = self.fabric.clock(self.me_world);
+        // Sender-side software overhead (an MPI_Send on the happy path).
+        let now = clock.advance(self.fabric.net().msg_latency / 4);
+        let stamp = self.fabric.wire_stamp(self.me_world, dst_world, payload.len() as u64, now);
+        self.fabric.deliver(
+            dst_world,
+            Envelope { comm: self.id, src: self.me, tag, stamp, payload },
+        );
+    }
+
+    /// Timestamp-explicit send for background threads (PapyrusKV's message
+    /// dispatcher): does NOT touch the rank clock. The message is charged to
+    /// the NICs/wire starting from `now` and the computed arrival stamp is
+    /// returned (and travels with the message).
+    pub fn send_at(&self, dst: Rank, tag: Tag, payload: impl Into<Bytes>, now: SimNs) -> SimNs {
+        let payload = payload.into();
+        let dst_world = self.record.members[dst];
+        let stamp = self.fabric.wire_stamp(self.me_world, dst_world, payload.len() as u64, now);
+        self.fabric.deliver(
+            dst_world,
+            Envelope { comm: self.id, src: self.me, tag, stamp, payload },
+        );
+        stamp
+    }
+
+    /// Blocking receive matching `src`/`tag`. Merges the message's arrival
+    /// stamp into this rank's clock.
+    pub fn recv(&self, src: RecvSrc, tag: RecvTag) -> Message {
+        let env = self.fabric.recv(self.me_world, self.id, src.into_option(), tag.into_option());
+        self.stamp_in(&env);
+        Message { src: env.src, tag: env.tag, payload: env.payload, stamp: env.stamp }
+    }
+
+    /// Non-blocking receive; `None` if no matching message is queued.
+    pub fn try_recv(&self, src: RecvSrc, tag: RecvTag) -> Option<Message> {
+        let env = self.fabric.try_recv(self.me_world, self.id, src.into_option(), tag.into_option())?;
+        self.stamp_in(&env);
+        Some(Message { src: env.src, tag: env.tag, payload: env.payload, stamp: env.stamp })
+    }
+
+    /// Blocking receive that does NOT merge the arrival stamp into the rank
+    /// clock — for background threads (PapyrusKV's message handler) whose
+    /// receipt must not advance the application rank's virtual time. The
+    /// stamp stays available on the returned [`Message`] for service-time
+    /// accounting.
+    pub fn recv_unstamped(&self, src: RecvSrc, tag: RecvTag) -> Message {
+        let env = self.fabric.recv(self.me_world, self.id, src.into_option(), tag.into_option());
+        Message { src: env.src, tag: env.tag, payload: env.payload, stamp: env.stamp }
+    }
+
+    /// Non-blocking unstamped receive.
+    pub fn try_recv_unstamped(&self, src: RecvSrc, tag: RecvTag) -> Option<Message> {
+        let env = self.fabric.try_recv(self.me_world, self.id, src.into_option(), tag.into_option())?;
+        Some(Message { src: env.src, tag: env.tag, payload: env.payload, stamp: env.stamp })
+    }
+
+    fn stamp_in(&self, env: &Envelope) {
+        let clock = self.fabric.clock(self.me_world);
+        clock.merge(env.stamp);
+        clock.advance(self.fabric.net().msg_latency / 4); // receive-side software overhead
+    }
+
+    /// Collective barrier: returns once all members arrive; clocks are merged
+    /// to the latest member plus a logarithmic synchronisation cost.
+    pub fn barrier(&self) {
+        let _ = self.allgather_bytes(Vec::new());
+    }
+
+    /// Collective all-gather of raw byte buffers; result is indexed by comm
+    /// rank. All members must call this the same number of times in the same
+    /// order (standard MPI collective semantics).
+    pub fn allgather_bytes(&self, contribution: Vec<u8>) -> Arc<Vec<Vec<u8>>> {
+        let n = self.size();
+        let clock = self.fabric.clock(self.me_world);
+        let cost = self.fabric.collective_cost(n);
+        let (bufs, stamp) =
+            self.record
+                .collective
+                .allgather(n, self.me, contribution, clock.now(), cost);
+        clock.merge(stamp);
+        bufs
+    }
+
+    /// Collective all-reduce of a `u64` with a commutative-associative `op`.
+    pub fn allreduce_u64(&self, value: u64, op: impl Fn(u64, u64) -> u64) -> u64 {
+        let bufs = self.allgather_bytes(value.to_le_bytes().to_vec());
+        bufs.iter()
+            .map(|b| u64::from_le_bytes(b[..8].try_into().unwrap()))
+            .reduce(&op)
+            .expect("allreduce over empty communicator")
+    }
+
+    /// Collective broadcast from `root`: every member returns root's bytes.
+    pub fn broadcast(&self, root: Rank, value: Vec<u8>) -> Vec<u8> {
+        let contribution = if self.me == root { value } else { Vec::new() };
+        let bufs = self.allgather_bytes(contribution);
+        bufs[root].clone()
+    }
+
+    /// Collective duplicate: a new communicator with identical membership.
+    /// PapyrusKV duplicates the world communicator so runtime-internal
+    /// messages cannot collide with application messages.
+    pub fn dup(&self) -> Communicator {
+        let seq = self.next_child_seq.fetch_add(1, Ordering::Relaxed);
+        let (id, record) = self
+            .fabric
+            .create_child(self.id, seq, u64::MAX, self.record.members.to_vec());
+        // Collective semantics: every member must arrive before any proceeds,
+        // matching MPI_Comm_dup.
+        self.barrier();
+        Communicator::new(self.fabric.clone(), id, record, self.me)
+    }
+
+    /// Collective split: members with the same `color` form a new
+    /// communicator, ordered by `key` (ties broken by parent rank).
+    pub fn split(&self, color: u64, key: u64) -> Communicator {
+        let mut buf = Vec::with_capacity(16);
+        buf.extend_from_slice(&color.to_le_bytes());
+        buf.extend_from_slice(&key.to_le_bytes());
+        let all = self.allgather_bytes(buf);
+        let mut members: Vec<(u64, Rank)> = all
+            .iter()
+            .enumerate()
+            .filter_map(|(r, b)| {
+                let c = u64::from_le_bytes(b[..8].try_into().unwrap());
+                let k = u64::from_le_bytes(b[8..16].try_into().unwrap());
+                (c == color).then_some((k, r))
+            })
+            .collect();
+        members.sort_unstable();
+        let world_members: Vec<Rank> = members
+            .iter()
+            .map(|&(_, parent_rank)| self.record.members[parent_rank])
+            .collect();
+        let my_index = members
+            .iter()
+            .position(|&(_, r)| r == self.me)
+            .expect("split: caller missing from own color group");
+        let seq = self.next_child_seq.fetch_add(1, Ordering::Relaxed);
+        // The color is the discriminator: each color group creates its own
+        // child under the same parent sequence number.
+        let (id, record) = self.fabric.create_child(self.id, seq, color, world_members);
+        Communicator::new(self.fabric.clone(), id, record, my_index)
+    }
+
+    /// The fabric this communicator lives on (for diagnostics/tests).
+    pub fn fabric(&self) -> &Arc<Fabric> {
+        &self.fabric
+    }
+}
+
+impl RecvSrc {
+    fn into_option(self) -> Option<Rank> {
+        match self {
+            RecvSrc::Any => None,
+            RecvSrc::Rank(r) => Some(r),
+        }
+    }
+}
+
+impl RecvTag {
+    fn into_option(self) -> Option<Tag> {
+        match self {
+            RecvTag::Any => None,
+            RecvTag::Tag(t) => Some(t),
+        }
+    }
+}

@@ -1,0 +1,474 @@
+//! The shared message fabric: mailboxes, NIC resources, communicator registry.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+use papyrus_simtime::{transfer_ns, Clock, NetModel, Resource, SimNs};
+
+use crate::{Rank, Tag};
+
+/// Internal communicator identifier (unique within a [`Fabric`]).
+pub(crate) type CommId = u64;
+
+/// A delivered message envelope as stored in a rank's mailbox.
+#[derive(Debug, Clone)]
+pub(crate) struct Envelope {
+    pub comm: CommId,
+    /// Sender's rank *within the communicator* the message was sent on.
+    pub src: Rank,
+    pub tag: Tag,
+    /// Virtual arrival timestamp (sender clock + NIC queueing + wire time).
+    pub stamp: SimNs,
+    pub payload: Bytes,
+}
+
+#[derive(Default)]
+struct Mailbox {
+    queue: Mutex<VecDeque<Envelope>>,
+    cv: Condvar,
+}
+
+/// State used to rendezvous one collective operation on one communicator.
+pub(crate) struct CollectiveState {
+    inner: Mutex<CollectiveInner>,
+    cv: Condvar,
+}
+
+struct CollectiveInner {
+    arrived: usize,
+    consumed: usize,
+    bufs: Vec<Option<Vec<u8>>>,
+    max_stamp: SimNs,
+    /// Snapshot of `bufs`/`max_stamp` for the round being released. While
+    /// `Some`, the round is draining and no new round may start.
+    released: Option<(Arc<Vec<Vec<u8>>>, SimNs)>,
+}
+
+impl CollectiveState {
+    fn new(n: usize) -> Self {
+        Self {
+            inner: Mutex::new(CollectiveInner {
+                arrived: 0,
+                consumed: 0,
+                bufs: vec![None; n],
+                max_stamp: 0,
+                released: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// All-gather byte buffers across the `n` members. Returns every
+    /// member's contribution (indexed by comm rank) and the merged release
+    /// timestamp. Blocks until all members of this round arrive. Back-to-back
+    /// rounds are safe: a new round cannot begin until every member of the
+    /// previous round has consumed its result.
+    pub(crate) fn allgather(
+        &self,
+        n: usize,
+        me: Rank,
+        contribution: Vec<u8>,
+        stamp: SimNs,
+        cost: SimNs,
+    ) -> (Arc<Vec<Vec<u8>>>, SimNs) {
+        let mut g = self.inner.lock();
+        // Phase 0: if a previous round is still draining, wait it out.
+        while g.released.is_some() {
+            self.cv.wait(&mut g);
+        }
+        // Phase 1: arrive.
+        g.bufs[me] = Some(contribution);
+        g.max_stamp = g.max_stamp.max(stamp);
+        g.arrived += 1;
+        if g.arrived == n {
+            let bufs: Vec<Vec<u8>> = g.bufs.iter_mut().map(|b| b.take().unwrap()).collect();
+            let release_stamp = g.max_stamp + cost;
+            g.released = Some((Arc::new(bufs), release_stamp));
+            g.consumed = 0;
+            self.cv.notify_all();
+        } else {
+            while g.released.is_none() {
+                self.cv.wait(&mut g);
+            }
+        }
+        // Phase 2: consume; the last consumer resets for the next round.
+        let out = g.released.clone().expect("collective released without result");
+        g.consumed += 1;
+        if g.consumed == n {
+            g.released = None;
+            g.arrived = 0;
+            g.max_stamp = 0;
+            self.cv.notify_all();
+        }
+        out
+    }
+}
+
+/// Record of a communicator known to the fabric.
+pub(crate) struct CommRecord {
+    /// World ranks of the members, in comm-rank order.
+    pub members: Arc<Vec<Rank>>,
+    pub collective: Arc<CollectiveState>,
+}
+
+/// The shared fabric connecting all ranks of a [`crate::World`].
+///
+/// Holds one mailbox, one egress-NIC resource and one ingress-NIC resource
+/// per rank, plus the registry of communicators. Cheap to share via `Arc`.
+pub struct Fabric {
+    n: usize,
+    net: NetModel,
+    mailboxes: Vec<Mailbox>,
+    nic_tx: Vec<Resource>,
+    nic_rx: Vec<Resource>,
+    /// Shared switch fabric: bisection bandwidth is a fraction of the sum of
+    /// link bandwidths (fat-tree oversubscription), so synchronised
+    /// all-to-all bursts (a relaxed-mode barrier migrating everything at
+    /// once) queue here while paced traffic (sequential-mode synchronous
+    /// puts) does not — the congestion effect behind the paper's Figure 7
+    /// `Seq+B` ≳ `Rel+B` observation.
+    backbone: Resource,
+    backbone_links: u32,
+    clocks: Vec<Clock>,
+    comms: Mutex<HashMap<CommId, Arc<CommRecord>>>,
+    /// Deterministic child-comm registry: (parent id, per-parent sequence
+    /// number, discriminator) -> created record. SPMD programs create comms
+    /// in the same order on every rank, so the first arrival creates and the
+    /// rest join. The discriminator separates `dup` from the per-color
+    /// children of a `split` at the same sequence number.
+    children: Mutex<HashMap<(CommId, u64, u64), (CommId, Arc<CommRecord>)>>,
+    next_comm_id: Mutex<CommId>,
+}
+
+impl Fabric {
+    /// Create a fabric for `n` ranks with the given interconnect model.
+    pub fn new(n: usize, net: NetModel) -> Arc<Self> {
+        assert!(n > 0, "a world needs at least one rank");
+        // Bisection ≈ n/8 full-rate links: job placement on production
+        // machines shares the fabric with other jobs, so the effective
+        // all-to-all capacity seen by one job is well below the sum of its
+        // link rates.
+        let backbone_links = (n as u32 / 8).max(1);
+        let fabric = Self {
+            n,
+            net,
+            mailboxes: (0..n).map(|_| Mailbox::default()).collect(),
+            nic_tx: (0..n).map(|_| Resource::new()).collect(),
+            nic_rx: (0..n).map(|_| Resource::new()).collect(),
+            backbone: Resource::new(),
+            backbone_links,
+            clocks: (0..n).map(|_| Clock::new()).collect(),
+            comms: Mutex::new(HashMap::new()),
+            children: Mutex::new(HashMap::new()),
+            next_comm_id: Mutex::new(1),
+        };
+        let arc = Arc::new(fabric);
+        // Register the world communicator as id 0.
+        let world = Arc::new(CommRecord {
+            members: Arc::new((0..n).collect()),
+            collective: Arc::new(CollectiveState::new(n)),
+        });
+        arc.comms.lock().insert(0, world);
+        arc
+    }
+
+    /// Number of ranks in the world.
+    pub fn world_size(&self) -> usize {
+        self.n
+    }
+
+    /// The interconnect cost model.
+    pub fn net(&self) -> &NetModel {
+        &self.net
+    }
+
+    /// The virtual clock of a world rank.
+    pub fn clock(&self, world_rank: Rank) -> &Clock {
+        &self.clocks[world_rank]
+    }
+
+    pub(crate) fn world_comm(&self) -> (CommId, Arc<CommRecord>) {
+        (0, self.comms.lock().get(&0).unwrap().clone())
+    }
+
+    /// Create-or-join a child communicator. `members` must be identical on
+    /// every creating rank (deterministic, e.g. from an allgather).
+    pub(crate) fn create_child(
+        &self,
+        parent: CommId,
+        seq: u64,
+        disc: u64,
+        members: Vec<Rank>,
+    ) -> (CommId, Arc<CommRecord>) {
+        let mut children = self.children.lock();
+        if let Some((id, rec)) = children.get(&(parent, seq, disc)) {
+            debug_assert_eq!(
+                **rec.members, members,
+                "split/dup called with mismatched membership across ranks"
+            );
+            return (*id, rec.clone());
+        }
+        let id = {
+            let mut next = self.next_comm_id.lock();
+            let id = *next;
+            *next += 1;
+            id
+        };
+        let rec = Arc::new(CommRecord {
+            collective: Arc::new(CollectiveState::new(members.len())),
+            members: Arc::new(members),
+        });
+        self.comms.lock().insert(id, rec.clone());
+        children.insert((parent, seq, disc), (id, rec.clone()));
+        (id, rec)
+    }
+
+    /// Model the cost of moving `bytes` from world rank `src` to `dst` with
+    /// the sender's clock at `now`: egress NIC queueing, wire latency, then
+    /// ingress NIC queueing. Returns the virtual arrival stamp.
+    pub(crate) fn wire_stamp(&self, src: Rank, dst: Rank, bytes: u64, now: SimNs) -> SimNs {
+        if src == dst {
+            // Intra-rank delivery: loopback, just the software latency.
+            return now + self.net.msg_latency / 4;
+        }
+        let t = transfer_ns(bytes as u64, self.net.bandwidth);
+        let tx_done = self.nic_tx[src].submit(now, t);
+        let tx_start = tx_done - t;
+        // The message then traverses the shared switch fabric (occupying a
+        // slice of the bisection bandwidth)...
+        let bb_done = self.backbone.submit_shared(tx_start, t, self.backbone_links);
+        // ...and occupies the receiver NIC for its transfer time starting
+        // one wire-latency after it cleared the backbone.
+        self.nic_rx[dst].submit(bb_done - t + self.net.msg_latency, t)
+    }
+
+    /// Deposit an envelope into `dst_world`'s mailbox.
+    pub(crate) fn deliver(&self, dst_world: Rank, env: Envelope) {
+        let mb = &self.mailboxes[dst_world];
+        mb.queue.lock().push_back(env);
+        mb.cv.notify_all();
+    }
+
+    /// Blocking receive with wildcards; returns the first (FIFO) envelope on
+    /// `comm` matching `src`/`tag`.
+    pub(crate) fn recv(
+        &self,
+        me_world: Rank,
+        comm: CommId,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+    ) -> Envelope {
+        let mb = &self.mailboxes[me_world];
+        let mut q = mb.queue.lock();
+        loop {
+            if let Some(pos) = q
+                .iter()
+                .position(|e| e.comm == comm && src.is_none_or(|s| e.src == s) && tag.is_none_or(|t| e.tag == t))
+            {
+                return q.remove(pos).unwrap();
+            }
+            mb.cv.wait(&mut q);
+        }
+    }
+
+    /// Non-blocking receive; `None` if nothing matches right now.
+    pub(crate) fn try_recv(
+        &self,
+        me_world: Rank,
+        comm: CommId,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+    ) -> Option<Envelope> {
+        let mb = &self.mailboxes[me_world];
+        let mut q = mb.queue.lock();
+        q.iter()
+            .position(|e| e.comm == comm && src.is_none_or(|s| e.src == s) && tag.is_none_or(|t| e.tag == t))
+            .map(|pos| q.remove(pos).unwrap())
+    }
+
+    /// Count of undelivered messages in a rank's mailbox (diagnostics).
+    pub fn pending(&self, world_rank: Rank) -> usize {
+        self.mailboxes[world_rank].queue.lock().len()
+    }
+
+    /// Collective synchronisation cost for an `n`-member operation:
+    /// a tree of message latencies down and up.
+    pub(crate) fn collective_cost(&self, n: usize) -> SimNs {
+        let depth = usize::BITS - n.next_power_of_two().trailing_zeros().min(usize::BITS - 1) as u32;
+        let log2 = if n <= 1 { 0 } else { (n as f64).log2().ceil() as u64 };
+        let _ = depth;
+        2 * log2 * self.net.msg_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use papyrus_simtime::US;
+
+    fn fabric(n: usize) -> Arc<Fabric> {
+        Fabric::new(n, NetModel::infiniband_edr())
+    }
+
+    #[test]
+    fn deliver_and_recv() {
+        let f = fabric(2);
+        f.deliver(
+            1,
+            Envelope {
+                comm: 0,
+                src: 0,
+                tag: 7,
+                stamp: 123,
+                payload: Bytes::from_static(b"hi"),
+            },
+        );
+        let e = f.recv(1, 0, None, None);
+        assert_eq!(e.src, 0);
+        assert_eq!(e.tag, 7);
+        assert_eq!(&e.payload[..], b"hi");
+    }
+
+    #[test]
+    fn recv_filters_by_tag() {
+        let f = fabric(1);
+        for tag in [1u32, 2, 3] {
+            f.deliver(
+                0,
+                Envelope {
+                    comm: 0,
+                    src: 0,
+                    tag,
+                    stamp: 0,
+                    payload: Bytes::new(),
+                },
+            );
+        }
+        let e = f.recv(0, 0, None, Some(2));
+        assert_eq!(e.tag, 2);
+        // The others are still there, in order.
+        assert_eq!(f.recv(0, 0, None, None).tag, 1);
+        assert_eq!(f.recv(0, 0, None, None).tag, 3);
+    }
+
+    #[test]
+    fn recv_filters_by_src_and_comm() {
+        let f = fabric(4);
+        f.deliver(0, Envelope { comm: 5, src: 2, tag: 0, stamp: 0, payload: Bytes::new() });
+        f.deliver(0, Envelope { comm: 0, src: 3, tag: 0, stamp: 0, payload: Bytes::new() });
+        assert!(f.try_recv(0, 0, Some(2), None).is_none());
+        assert!(f.try_recv(0, 5, Some(2), None).is_some());
+        assert!(f.try_recv(0, 0, Some(3), None).is_some());
+    }
+
+    #[test]
+    fn try_recv_empty_is_none() {
+        let f = fabric(1);
+        assert!(f.try_recv(0, 0, None, None).is_none());
+        assert_eq!(f.pending(0), 0);
+    }
+
+    #[test]
+    fn wire_stamp_uncontended_is_latency_plus_transfer() {
+        let f = Fabric::new(
+            2,
+            NetModel { name: "t", msg_latency: 10 * US, bandwidth: papyrus_simtime::GIB, rdma_latency: US },
+        );
+        let stamp = f.wire_stamp(0, 1, papyrus_simtime::GIB, 0);
+        assert_eq!(stamp, 10 * US + papyrus_simtime::SEC);
+    }
+
+    #[test]
+    fn wire_stamp_incast_serialises_on_receiver() {
+        let f = Fabric::new(
+            3,
+            NetModel { name: "t", msg_latency: 0, bandwidth: papyrus_simtime::GIB, rdma_latency: 0 },
+        );
+        let a = f.wire_stamp(0, 2, papyrus_simtime::GIB, 0);
+        let b = f.wire_stamp(1, 2, papyrus_simtime::GIB, 0);
+        // Two different senders, same receiver: second transfer queues.
+        assert_eq!(a.min(b), papyrus_simtime::SEC);
+        assert_eq!(a.max(b), 2 * papyrus_simtime::SEC);
+    }
+
+    #[test]
+    fn loopback_is_cheap() {
+        let f = fabric(2);
+        let stamp = f.wire_stamp(1, 1, 1 << 20, 100);
+        assert!(stamp < 100 + f.net().msg_latency);
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_delivery() {
+        let f = fabric(2);
+        let f2 = f.clone();
+        let h = std::thread::spawn(move || f2.recv(0, 0, Some(1), Some(9)).stamp);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        f.deliver(
+            0,
+            Envelope { comm: 0, src: 1, tag: 9, stamp: 555, payload: Bytes::new() },
+        );
+        assert_eq!(h.join().unwrap(), 555);
+    }
+
+    #[test]
+    fn child_comm_created_once() {
+        let f = fabric(4);
+        let (id1, r1) = f.create_child(0, 0, 0, vec![0, 1]);
+        let (id2, r2) = f.create_child(0, 0, 0, vec![0, 1]);
+        assert_eq!(id1, id2);
+        assert!(Arc::ptr_eq(&r1.members, &r2.members));
+        let (id3, _) = f.create_child(0, 1, 0, vec![2, 3]);
+        assert_ne!(id1, id3);
+        // Same sequence number, different discriminator (split colors).
+        let (id4, _) = f.create_child(0, 0, 7, vec![2, 3]);
+        assert_ne!(id1, id4);
+    }
+
+    #[test]
+    fn collective_cost_scales_logarithmically() {
+        let f = fabric(2);
+        assert_eq!(f.collective_cost(1), 0);
+        let c2 = f.collective_cost(2);
+        let c16 = f.collective_cost(16);
+        assert_eq!(c16, 4 * c2);
+    }
+
+    #[test]
+    fn collective_state_allgather_exchanges_all() {
+        let st = Arc::new(CollectiveState::new(3));
+        let mut handles = vec![];
+        for me in 0..3usize {
+            let st = st.clone();
+            handles.push(std::thread::spawn(move || {
+                st.allgather(3, me, vec![me as u8], (me as u64 + 1) * 100, 7)
+            }));
+        }
+        for h in handles {
+            let (bufs, stamp) = h.join().unwrap();
+            assert_eq!(*bufs, vec![vec![0u8], vec![1], vec![2]]);
+            assert_eq!(stamp, 307); // max(100,200,300) + 7
+        }
+    }
+
+    #[test]
+    fn collective_state_reusable_across_generations() {
+        let st = Arc::new(CollectiveState::new(2));
+        for round in 0..5u8 {
+            let mut handles = vec![];
+            for me in 0..2usize {
+                let st = st.clone();
+                handles.push(std::thread::spawn(move || {
+                    st.allgather(2, me, vec![round, me as u8], 0, 0)
+                }));
+            }
+            for h in handles {
+                let (bufs, _) = h.join().unwrap();
+                assert_eq!(*bufs, vec![vec![round, 0], vec![round, 1]]);
+            }
+        }
+    }
+}

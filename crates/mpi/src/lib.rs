@@ -1,0 +1,38 @@
+//! # papyrus-mpi
+//!
+//! An in-process SPMD message-passing substrate standing in for MPI.
+//!
+//! PapyrusKV is an *embedded* KVS: it is a user-level library linked into an
+//! MPI application, using tagged point-to-point messages (at
+//! `MPI_THREAD_MULTIPLE` level, from dispatcher/handler helper threads),
+//! duplicated communicators for runtime-internal traffic, and a handful of
+//! collectives. It never uses one-sided MPI. This crate provides exactly that
+//! surface with each *rank* running as an OS thread inside one process:
+//!
+//! * [`World::run`] — launch `n` ranks executing the same closure (SPMD).
+//! * [`RankCtx`] — per-rank handle: `rank()`, `size()`, the world
+//!   [`Communicator`], the rank's virtual [`Clock`], and collective helpers.
+//! * [`Communicator`] — tagged, FIFO-per-(sender,tag) point-to-point
+//!   messaging with `MPI_ANY_SOURCE`/`MPI_ANY_TAG`-style wildcards, plus
+//!   `dup` and `split` so library-internal traffic cannot collide with
+//!   application traffic (paper §2.4 "the runtime creates new independent
+//!   MPI communicators").
+//!
+//! Virtual time: each message is charged to the sender's egress NIC and the
+//! receiver's ingress NIC ([`papyrus_simtime::Resource`] busy-until queues)
+//! plus a wire latency, so incast congestion — which the paper credits for
+//! `Seq+B` beating `Rel+B` in Figure 7 — emerges naturally.
+
+mod comm;
+mod fabric;
+mod world;
+
+pub use comm::{Communicator, RecvSrc, RecvTag, Message};
+pub use fabric::Fabric;
+pub use world::{RankCtx, World, WorldConfig};
+
+/// A rank index within a communicator.
+pub type Rank = usize;
+
+/// A message tag (like an MPI tag).
+pub type Tag = u32;

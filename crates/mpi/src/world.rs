@@ -1,0 +1,373 @@
+//! SPMD world launcher and per-rank context.
+
+use std::sync::Arc;
+use std::thread;
+
+use papyrus_simtime::{Clock, NetModel, SimNs};
+
+use crate::comm::Communicator;
+use crate::fabric::Fabric;
+use crate::Rank;
+
+/// Configuration for a simulated SPMD job.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Number of MPI ranks (each runs as an OS thread).
+    pub ranks: usize,
+    /// Interconnect cost model shared by all ranks.
+    pub net: NetModel,
+    /// OS thread stack size per rank (bytes). The KVS spawns helper threads
+    /// per rank, so the default is modest.
+    pub stack_size: usize,
+}
+
+impl WorldConfig {
+    /// A world of `ranks` ranks on the given interconnect.
+    pub fn new(ranks: usize, net: NetModel) -> Self {
+        Self { ranks, net, stack_size: 1 << 21 }
+    }
+
+    /// A world with a free (unaccounted) network, for unit tests.
+    pub fn for_tests(ranks: usize) -> Self {
+        Self::new(ranks, NetModel::free())
+    }
+}
+
+/// Handle to a launched world; produced by [`World::run`].
+pub struct World;
+
+impl World {
+    /// Run an SPMD job: spawn `config.ranks` threads, each executing `f`
+    /// with its own [`RankCtx`]. Returns each rank's result, indexed by rank.
+    ///
+    /// Panics in any rank are propagated (the join failure names the rank).
+    pub fn run<T, F>(config: WorldConfig, f: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(RankCtx) -> T + Send + Sync + 'static,
+    {
+        let fabric = Fabric::new(config.ranks, config.net.clone());
+        let f = Arc::new(f);
+        let handles: Vec<_> = (0..config.ranks)
+            .map(|rank| {
+                let fabric = fabric.clone();
+                let f = f.clone();
+                thread::Builder::new()
+                    .name(format!("rank-{rank}"))
+                    .stack_size(config.stack_size)
+                    .spawn(move || {
+                        let ctx = RankCtx::new(fabric, rank);
+                        f(ctx)
+                    })
+                    .expect("failed to spawn rank thread")
+            })
+            .collect();
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(rank, h)| match h.join() {
+                Ok(v) => v,
+                Err(e) => {
+                    let msg = e
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| e.downcast_ref::<&str>().copied())
+                        .unwrap_or("<non-string panic>");
+                    panic!("rank {rank} panicked: {msg}")
+                }
+            })
+            .collect()
+    }
+}
+
+/// Per-rank execution context handed to the SPMD closure.
+///
+/// Cheap to clone; clones share the same rank identity, clock, and fabric
+/// (this is how PapyrusKV's helper threads participate in their rank).
+#[derive(Clone)]
+pub struct RankCtx {
+    fabric: Arc<Fabric>,
+    rank: Rank,
+    world: Communicator,
+}
+
+impl std::fmt::Debug for RankCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RankCtx")
+            .field("rank", &self.rank)
+            .field("size", &self.size())
+            .finish()
+    }
+}
+
+impl RankCtx {
+    fn new(fabric: Arc<Fabric>, rank: Rank) -> Self {
+        let (id, record) = fabric.world_comm();
+        let world = Communicator::new(fabric.clone(), id, record, rank);
+        Self { fabric, rank, world }
+    }
+
+    /// This rank's index in the world.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// World size (number of ranks).
+    pub fn size(&self) -> usize {
+        self.fabric.world_size()
+    }
+
+    /// The world communicator (like `MPI_COMM_WORLD`).
+    pub fn world(&self) -> &Communicator {
+        &self.world
+    }
+
+    /// This rank's virtual clock.
+    pub fn clock(&self) -> &Clock {
+        self.fabric.clock(self.rank)
+    }
+
+    /// Current virtual time on this rank.
+    pub fn now(&self) -> SimNs {
+        self.clock().now()
+    }
+
+    /// The underlying fabric (shared with all ranks).
+    pub fn fabric(&self) -> &Arc<Fabric> {
+        &self.fabric
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RecvSrc, RecvTag};
+    use bytes::Bytes;
+    use papyrus_simtime::US;
+
+    #[test]
+    fn run_returns_per_rank_results() {
+        let out = World::run(WorldConfig::for_tests(4), |ctx| ctx.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let out = World::run(WorldConfig::for_tests(1), |ctx| ctx.size());
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn ring_send_recv() {
+        let out = World::run(WorldConfig::for_tests(5), |ctx| {
+            let w = ctx.world();
+            let next = (ctx.rank() + 1) % ctx.size();
+            let prev = (ctx.rank() + ctx.size() - 1) % ctx.size();
+            w.send(next, 1, Bytes::from(vec![ctx.rank() as u8]));
+            let m = w.recv(RecvSrc::Rank(prev), RecvTag::Tag(1));
+            m.payload[0] as usize
+        });
+        assert_eq!(out, vec![4, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn messages_fifo_per_sender_and_tag() {
+        let out = World::run(WorldConfig::for_tests(2), |ctx| {
+            let w = ctx.world();
+            if ctx.rank() == 0 {
+                for i in 0..100u8 {
+                    w.send(1, 3, vec![i]);
+                }
+                Vec::new()
+            } else {
+                (0..100)
+                    .map(|_| w.recv(RecvSrc::Rank(0), RecvTag::Tag(3)).payload[0])
+                    .collect()
+            }
+        });
+        assert_eq!(out[1], (0..100).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn any_source_any_tag() {
+        let out = World::run(WorldConfig::for_tests(3), |ctx| {
+            let w = ctx.world();
+            if ctx.rank() == 0 {
+                let mut got = vec![
+                    w.recv(RecvSrc::Any, RecvTag::Any).src,
+                    w.recv(RecvSrc::Any, RecvTag::Any).src,
+                ];
+                got.sort_unstable();
+                got
+            } else {
+                w.send(0, ctx.rank() as u32, Bytes::new());
+                vec![]
+            }
+        });
+        assert_eq!(out[0], vec![1, 2]);
+    }
+
+    #[test]
+    fn barrier_merges_clocks() {
+        let cfg = WorldConfig::new(3, NetModel::infiniband_edr());
+        let out = World::run(cfg, |ctx| {
+            // Rank 2 does a lot of virtual work before the barrier.
+            if ctx.rank() == 2 {
+                ctx.clock().advance(1_000 * US);
+            }
+            ctx.world().barrier();
+            ctx.now()
+        });
+        // Everyone's clock is at least rank 2's pre-barrier time.
+        for t in out {
+            assert!(t >= 1_000 * US);
+        }
+    }
+
+    #[test]
+    fn allgather_collects_in_rank_order() {
+        let out = World::run(WorldConfig::for_tests(4), |ctx| {
+            let bufs = ctx.world().allgather_bytes(vec![ctx.rank() as u8; 2]);
+            bufs.iter().map(|b| b[0]).collect::<Vec<u8>>()
+        });
+        for row in out {
+            assert_eq!(row, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn allreduce_sum_and_max() {
+        let out = World::run(WorldConfig::for_tests(4), |ctx| {
+            let sum = ctx.world().allreduce_u64(ctx.rank() as u64 + 1, |a, b| a + b);
+            let max = ctx.world().allreduce_u64(ctx.rank() as u64, u64::max);
+            (sum, max)
+        });
+        for (sum, max) in out {
+            assert_eq!(sum, 10);
+            assert_eq!(max, 3);
+        }
+    }
+
+    #[test]
+    fn broadcast_from_nonzero_root() {
+        let out = World::run(WorldConfig::for_tests(3), |ctx| {
+            let v = if ctx.rank() == 2 { vec![9, 9] } else { vec![] };
+            ctx.world().broadcast(2, v)
+        });
+        for row in out {
+            assert_eq!(row, vec![9, 9]);
+        }
+    }
+
+    #[test]
+    fn dup_isolates_traffic() {
+        let out = World::run(WorldConfig::for_tests(2), |ctx| {
+            let w = ctx.world();
+            let internal = w.dup();
+            if ctx.rank() == 0 {
+                internal.send(1, 5, Bytes::from_static(b"internal"));
+                w.send(1, 5, Bytes::from_static(b"app"));
+                0
+            } else {
+                // Receive on the app comm first even though the internal
+                // message was sent first: comms do not cross-match.
+                let app = w.recv(RecvSrc::Rank(0), RecvTag::Tag(5));
+                assert_eq!(&app.payload[..], b"app");
+                let int = internal.recv(RecvSrc::Rank(0), RecvTag::Tag(5));
+                assert_eq!(&int.payload[..], b"internal");
+                1
+            }
+        });
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn dup_repeated_creates_distinct_comms() {
+        World::run(WorldConfig::for_tests(2), |ctx| {
+            let a = ctx.world().dup();
+            let b = ctx.world().dup();
+            if ctx.rank() == 0 {
+                a.send(1, 1, Bytes::from_static(b"a"));
+                b.send(1, 1, Bytes::from_static(b"b"));
+            } else {
+                assert_eq!(&b.recv(RecvSrc::Any, RecvTag::Any).payload[..], b"b");
+                assert_eq!(&a.recv(RecvSrc::Any, RecvTag::Any).payload[..], b"a");
+            }
+        });
+    }
+
+    #[test]
+    fn split_by_parity() {
+        let out = World::run(WorldConfig::for_tests(6), |ctx| {
+            let sub = ctx.world().split((ctx.rank() % 2) as u64, ctx.rank() as u64);
+            // Each parity class has 3 members; sum ranks within the subcomm.
+            let sum = sub.allreduce_u64(ctx.rank() as u64, |a, b| a + b);
+            (sub.rank(), sub.size(), sum)
+        });
+        // Evens: world ranks 0,2,4 -> sum 6. Odds: 1,3,5 -> sum 9.
+        assert_eq!(out[0], (0, 3, 6));
+        assert_eq!(out[2], (1, 3, 6));
+        assert_eq!(out[4], (2, 3, 6));
+        assert_eq!(out[1], (0, 3, 9));
+        assert_eq!(out[5], (2, 3, 9));
+    }
+
+    #[test]
+    fn split_subcomm_messaging_uses_local_ranks() {
+        World::run(WorldConfig::for_tests(4), |ctx| {
+            // Groups {0,1} and {2,3}.
+            let sub = ctx.world().split((ctx.rank() / 2) as u64, ctx.rank() as u64);
+            if sub.rank() == 0 {
+                sub.send(1, 0, Bytes::from(vec![ctx.rank() as u8]));
+            } else {
+                let m = sub.recv(RecvSrc::Rank(0), RecvTag::Any);
+                // Partner is the even world rank in my group.
+                assert_eq!(m.payload[0] as usize, (ctx.rank() / 2) * 2);
+            }
+        });
+    }
+
+    #[test]
+    fn helper_thread_shares_rank_clock() {
+        let out = World::run(WorldConfig::for_tests(2), |ctx| {
+            let helper_ctx = ctx.clone();
+            let h = std::thread::spawn(move || {
+                helper_ctx.clock().advance(500);
+            });
+            h.join().unwrap();
+            ctx.now()
+        });
+        assert!(out.iter().all(|&t| t >= 500));
+    }
+
+    #[test]
+    fn send_charges_virtual_time() {
+        let cfg = WorldConfig::new(2, NetModel::infiniband_edr());
+        let out = World::run(cfg, |ctx| {
+            if ctx.rank() == 0 {
+                for _ in 0..10 {
+                    ctx.world().send(1, 0, Bytes::from(vec![0u8; 1024]));
+                }
+                ctx.now()
+            } else {
+                for _ in 0..10 {
+                    ctx.world().recv(RecvSrc::Rank(0), RecvTag::Any);
+                }
+                ctx.now()
+            }
+        });
+        assert!(out[0] > 0, "sender clock must advance");
+        // Receiver saw arrival stamps that include wire latency.
+        assert!(out[1] > out[0] / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 1 panicked")]
+    fn rank_panic_propagates() {
+        World::run(WorldConfig::for_tests(2), |ctx| {
+            if ctx.rank() == 1 {
+                panic!("boom");
+            }
+        });
+    }
+}

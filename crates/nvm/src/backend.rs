@@ -1,0 +1,279 @@
+//! Storage backends: where object bytes actually live.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+/// Abstract byte storage for named objects.
+///
+/// Paths are flat, `/`-separated strings (like object-store keys). The
+/// backend handles durability only; all cost accounting happens in
+/// [`crate::NvmStore`].
+pub trait Backend: Send + Sync {
+    /// Create or truncate an object with the given contents.
+    fn put(&self, path: &str, data: Bytes);
+    /// Append to an object, creating it if missing.
+    fn append(&self, path: &str, data: &[u8]);
+    /// Read `len` bytes at `offset`; `None` if the object is missing.
+    /// Reads past the end are truncated.
+    fn get(&self, path: &str, offset: u64, len: u64) -> Option<Bytes>;
+    /// Full object contents; `None` if missing.
+    fn get_all(&self, path: &str) -> Option<Bytes>;
+    /// Object length in bytes; `None` if missing.
+    fn len(&self, path: &str) -> Option<u64>;
+    /// Remove an object. Returns whether it existed.
+    fn delete(&self, path: &str) -> bool;
+    /// All object paths with the given prefix, sorted.
+    fn list(&self, prefix: &str) -> Vec<String>;
+    /// Whether an object exists.
+    fn exists(&self, path: &str) -> bool {
+        self.len(path).is_some()
+    }
+    /// Remove every object. Models the scratch trim at job end (paper §4).
+    fn clear(&self);
+}
+
+/// Deterministic in-memory backend (the default for tests and benches).
+#[derive(Default)]
+pub struct MemBackend {
+    objects: RwLock<BTreeMap<String, Vec<u8>>>,
+}
+
+impl MemBackend {
+    /// Empty in-memory store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes held (capacity accounting, e.g. Stampede's 112 GB SSD).
+    pub fn total_bytes(&self) -> u64 {
+        self.objects.read().values().map(|v| v.len() as u64).sum()
+    }
+}
+
+impl Backend for MemBackend {
+    fn put(&self, path: &str, data: Bytes) {
+        self.objects.write().insert(path.to_string(), data.to_vec());
+    }
+
+    fn append(&self, path: &str, data: &[u8]) {
+        self.objects
+            .write()
+            .entry(path.to_string())
+            .or_default()
+            .extend_from_slice(data);
+    }
+
+    fn get(&self, path: &str, offset: u64, len: u64) -> Option<Bytes> {
+        let g = self.objects.read();
+        let v = g.get(path)?;
+        let start = (offset as usize).min(v.len());
+        let end = (offset.saturating_add(len) as usize).min(v.len());
+        Some(Bytes::copy_from_slice(&v[start..end]))
+    }
+
+    fn get_all(&self, path: &str) -> Option<Bytes> {
+        self.objects.read().get(path).map(|v| Bytes::copy_from_slice(v))
+    }
+
+    fn len(&self, path: &str) -> Option<u64> {
+        self.objects.read().get(path).map(|v| v.len() as u64)
+    }
+
+    fn delete(&self, path: &str) -> bool {
+        self.objects.write().remove(path).is_some()
+    }
+
+    fn list(&self, prefix: &str) -> Vec<String> {
+        self.objects
+            .read()
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    fn clear(&self) {
+        self.objects.write().clear();
+    }
+}
+
+/// Real-directory backend: each object is a file under `root`. Used by soak
+/// tests and by users who want the SSTables inspectable on disk.
+pub struct DiskBackend {
+    root: PathBuf,
+}
+
+impl DiskBackend {
+    /// Create (and mkdir -p) a disk backend rooted at `root`.
+    pub fn new(root: impl AsRef<Path>) -> std::io::Result<Self> {
+        fs::create_dir_all(root.as_ref())?;
+        Ok(Self { root: root.as_ref().to_path_buf() })
+    }
+
+    fn fs_path(&self, path: &str) -> PathBuf {
+        // Object paths are trusted internal names, but keep them contained:
+        // strip any leading separators and reject parent traversal.
+        let clean: Vec<&str> = path
+            .split('/')
+            .filter(|c| !c.is_empty() && *c != "." && *c != "..")
+            .collect();
+        let mut p = self.root.clone();
+        for c in clean {
+            p.push(c);
+        }
+        p
+    }
+}
+
+impl Backend for DiskBackend {
+    fn put(&self, path: &str, data: Bytes) {
+        let p = self.fs_path(path);
+        if let Some(parent) = p.parent() {
+            let _ = fs::create_dir_all(parent);
+        }
+        fs::write(&p, &data).expect("disk backend write failed");
+    }
+
+    fn append(&self, path: &str, data: &[u8]) {
+        let p = self.fs_path(path);
+        if let Some(parent) = p.parent() {
+            let _ = fs::create_dir_all(parent);
+        }
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&p)
+            .expect("disk backend open failed");
+        f.write_all(data).expect("disk backend append failed");
+    }
+
+    fn get(&self, path: &str, offset: u64, len: u64) -> Option<Bytes> {
+        let mut f = fs::File::open(self.fs_path(path)).ok()?;
+        let total = f.metadata().ok()?.len();
+        let start = offset.min(total);
+        let end = offset.saturating_add(len).min(total);
+        f.seek(SeekFrom::Start(start)).ok()?;
+        let mut buf = vec![0u8; (end - start) as usize];
+        f.read_exact(&mut buf).ok()?;
+        Some(Bytes::from(buf))
+    }
+
+    fn get_all(&self, path: &str) -> Option<Bytes> {
+        fs::read(self.fs_path(path)).ok().map(Bytes::from)
+    }
+
+    fn len(&self, path: &str) -> Option<u64> {
+        fs::metadata(self.fs_path(path)).ok().map(|m| m.len())
+    }
+
+    fn delete(&self, path: &str) -> bool {
+        fs::remove_file(self.fs_path(path)).is_ok()
+    }
+
+    fn list(&self, prefix: &str) -> Vec<String> {
+        // Walk the tree and reconstruct object names relative to root.
+        fn walk(dir: &Path, root: &Path, out: &mut Vec<String>) {
+            let Ok(entries) = fs::read_dir(dir) else { return };
+            for e in entries.flatten() {
+                let p = e.path();
+                if p.is_dir() {
+                    walk(&p, root, out);
+                } else if let Ok(rel) = p.strip_prefix(root) {
+                    out.push(rel.to_string_lossy().replace('\\', "/"));
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.root, &self.root, &mut out);
+        out.retain(|p| p.starts_with(prefix));
+        out.sort();
+        out
+    }
+
+    fn clear(&self) {
+        let _ = fs::remove_dir_all(&self.root);
+        let _ = fs::create_dir_all(&self.root);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(b: &dyn Backend) {
+        assert!(!b.exists("a/b"));
+        b.put("a/b", Bytes::from_static(b"hello"));
+        assert!(b.exists("a/b"));
+        assert_eq!(b.len("a/b"), Some(5));
+        assert_eq!(&b.get_all("a/b").unwrap()[..], b"hello");
+
+        b.append("a/b", b" world");
+        assert_eq!(b.len("a/b"), Some(11));
+        assert_eq!(&b.get("a/b", 6, 5).unwrap()[..], b"world");
+        // Read past end truncates.
+        assert_eq!(&b.get("a/b", 6, 100).unwrap()[..], b"world");
+        assert_eq!(b.get("a/b", 100, 5).unwrap().len(), 0);
+        assert!(b.get("missing", 0, 1).is_none());
+
+        b.append("fresh", b"x"); // append creates
+        assert_eq!(b.len("fresh"), Some(1));
+
+        b.put("a/c", Bytes::from_static(b"1"));
+        b.put("z", Bytes::from_static(b"2"));
+        assert_eq!(b.list("a/"), vec!["a/b".to_string(), "a/c".to_string()]);
+        assert_eq!(b.list("").len(), 4);
+
+        assert!(b.delete("a/c"));
+        assert!(!b.delete("a/c"));
+        assert!(!b.exists("a/c"));
+
+        b.clear();
+        assert!(b.list("").is_empty());
+    }
+
+    #[test]
+    fn mem_backend_semantics() {
+        exercise(&MemBackend::new());
+    }
+
+    #[test]
+    fn disk_backend_semantics() {
+        let dir = std::env::temp_dir().join(format!("pkv-nvm-test-{}", std::process::id()));
+        let b = DiskBackend::new(&dir).unwrap();
+        b.clear();
+        exercise(&b);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mem_backend_total_bytes() {
+        let b = MemBackend::new();
+        b.put("x", Bytes::from_static(b"1234"));
+        b.append("y", b"56");
+        assert_eq!(b.total_bytes(), 6);
+    }
+
+    #[test]
+    fn disk_backend_rejects_traversal() {
+        let dir = std::env::temp_dir().join(format!("pkv-nvm-trav-{}", std::process::id()));
+        let b = DiskBackend::new(&dir).unwrap();
+        b.put("../../etc/evil", Bytes::from_static(b"x"));
+        // The object lands inside root regardless of the ../ components.
+        assert!(b.exists("../../etc/evil") || b.exists("etc/evil"));
+        assert!(dir.join("etc/evil").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn overwrite_truncates() {
+        let b = MemBackend::new();
+        b.put("k", Bytes::from_static(b"long contents"));
+        b.put("k", Bytes::from_static(b"s"));
+        assert_eq!(b.len("k"), Some(1));
+    }
+}

@@ -1,0 +1,366 @@
+//! Analytic cost models for storage devices, interconnects, and DRAM.
+//!
+//! The constants are calibrated to the device classes in the paper's Table 2
+//! and the qualitative statements in §5.2: NVM random reads are orders of
+//! magnitude faster than Lustre, Lustre's striped sequential writes rival or
+//! beat a single local NVM device at large value sizes, Cori's burst buffer
+//! stripes across nodes and keeps winning, and small-value put throughput is
+//! bound by DDR4 random-access latency.
+
+use crate::{transfer_ns, SimNs, GIB, MIB, US};
+
+/// Whether an I/O touches the device sequentially or at a random offset.
+///
+/// The distinction drives the paper's headline observation: flash-based NVM
+/// has near-identical random and sequential read performance, while a
+/// parallel file system pays an enormous penalty for random reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessPattern {
+    /// Streaming access (SSTable flush, compaction scan, checkpoint copy).
+    Sequential,
+    /// Point access (SSData binary-search probes, cache misses).
+    Random,
+}
+
+/// A storage device (or device class) cost model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceModel {
+    /// Human-readable device class, e.g. `"nvme"` or `"lustre"`.
+    pub name: &'static str,
+    /// Fixed per-read software+device latency (ns).
+    pub read_latency: SimNs,
+    /// Fixed per-write latency (ns).
+    pub write_latency: SimNs,
+    /// Cost of opening a file / metadata operation (ns). Dominant for
+    /// parallel file systems where the MDS round-trip is milliseconds.
+    pub open_latency: SimNs,
+    /// Sequential read bandwidth per stream (bytes/sec).
+    pub seq_read_bw: u64,
+    /// Sequential write bandwidth per stream (bytes/sec).
+    pub seq_write_bw: u64,
+    /// Random read bandwidth (bytes/sec) — for flash this ≈ sequential; for
+    /// disk-backed PFS it is a small fraction of it.
+    pub rand_read_bw: u64,
+    /// Random write bandwidth (bytes/sec).
+    pub rand_write_bw: u64,
+    /// Number of stripes (OSTs / burst-buffer nodes) large transfers fan out
+    /// over. 1 for node-local devices.
+    pub stripes: u32,
+    /// Internal request parallelism (queue depth the device can service
+    /// concurrently): many random reads overlap on flash, so the device
+    /// queue is occupied for `cost / parallelism` per request while the
+    /// requester still sees the full latency.
+    pub parallelism: u32,
+}
+
+impl DeviceModel {
+    /// Cost of reading `bytes` with the given pattern. Striping accelerates
+    /// only sequential transfers large enough to cover all stripes (we use a
+    /// 1 MiB-per-stripe threshold, matching typical Lustre stripe sizes).
+    pub fn read_ns(&self, bytes: u64, pattern: AccessPattern) -> SimNs {
+        let (lat, bw) = match pattern {
+            AccessPattern::Sequential => (self.read_latency, self.striped_bw(self.seq_read_bw, bytes)),
+            AccessPattern::Random => (self.read_latency, self.rand_read_bw),
+        };
+        lat + transfer_ns(bytes, bw)
+    }
+
+    /// Cost of writing `bytes` with the given pattern.
+    pub fn write_ns(&self, bytes: u64, pattern: AccessPattern) -> SimNs {
+        let (lat, bw) = match pattern {
+            AccessPattern::Sequential => {
+                (self.write_latency, self.striped_bw(self.seq_write_bw, bytes))
+            }
+            AccessPattern::Random => (self.write_latency, self.rand_write_bw),
+        };
+        lat + transfer_ns(bytes, bw)
+    }
+
+    /// Cost of a file open / metadata operation.
+    pub fn open_ns(&self) -> SimNs {
+        self.open_latency
+    }
+
+    fn striped_bw(&self, base: u64, bytes: u64) -> u64 {
+        if self.stripes <= 1 {
+            return base;
+        }
+        // A transfer only benefits from k stripes once it is large enough to
+        // keep k stripes busy.
+        let usable = ((bytes / MIB).max(1)).min(self.stripes as u64);
+        base * usable
+    }
+
+    /// Node-local NVMe as on OLCF Summitdev (800 GB per node).
+    pub fn nvme_summitdev() -> Self {
+        Self {
+            name: "nvme",
+            read_latency: 12 * US,
+            write_latency: 20 * US,
+            open_latency: 15 * US,
+            seq_read_bw: 3 * GIB,
+            seq_write_bw: 2 * GIB,
+            rand_read_bw: (2.5 * GIB as f64) as u64,
+            rand_write_bw: GIB,
+            stripes: 1,
+            parallelism: 8,
+        }
+    }
+
+    /// Node-local SATA SSD as on TACC Stampede KNL (112 GB per node).
+    pub fn ssd_stampede() -> Self {
+        Self {
+            name: "ssd",
+            read_latency: 90 * US,
+            write_latency: 120 * US,
+            open_latency: 40 * US,
+            seq_read_bw: 520 * MIB,
+            seq_write_bw: 290 * MIB,
+            rand_read_bw: 380 * MIB,
+            rand_write_bw: 150 * MIB,
+            stripes: 1,
+            parallelism: 4,
+        }
+    }
+
+    /// NERSC Cori burst buffer: SSDs on dedicated nodes reached over the
+    /// interconnect, striped across burst-buffer nodes.
+    pub fn burst_buffer_cori() -> Self {
+        Self {
+            name: "burst-buffer",
+            read_latency: 250 * US,
+            write_latency: 300 * US,
+            open_latency: 500 * US,
+            seq_read_bw: (1.4 * GIB as f64) as u64,
+            seq_write_bw: (1.2 * GIB as f64) as u64,
+            rand_read_bw: 900 * MIB,
+            rand_write_bw: 700 * MIB,
+            stripes: 8,
+            parallelism: 32,
+        }
+    }
+
+    /// Lustre parallel file system: high striped sequential bandwidth, very
+    /// expensive metadata and random reads (spinning OSTs + network).
+    pub fn lustre() -> Self {
+        Self {
+            name: "lustre",
+            read_latency: 900 * US,
+            write_latency: 700 * US,
+            open_latency: 2_500 * US,
+            seq_read_bw: 800 * MIB,
+            seq_write_bw: 700 * MIB,
+            rand_read_bw: 25 * MIB,
+            rand_write_bw: 40 * MIB,
+            stripes: 16,
+            parallelism: 4,
+        }
+    }
+
+    /// An idealised DRAM "device" used for tests that want free I/O.
+    pub fn dram() -> Self {
+        Self {
+            name: "dram",
+            read_latency: 0,
+            write_latency: 0,
+            open_latency: 0,
+            seq_read_bw: 0, // 0 = not accounted (transfer_ns returns 0)
+            seq_write_bw: 0,
+            rand_read_bw: 0,
+            rand_write_bw: 0,
+            stripes: 1,
+            parallelism: 1,
+        }
+    }
+}
+
+/// Interconnect cost model (two-sided messaging plus an RDMA path used by
+/// the UPC/DSM baseline).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetModel {
+    /// Interconnect family, e.g. `"infiniband-edr"`.
+    pub name: &'static str,
+    /// One-way small-message latency including MPI software overhead (ns).
+    pub msg_latency: SimNs,
+    /// Point-to-point bandwidth (bytes/sec).
+    pub bandwidth: u64,
+    /// One-sided (RDMA) latency — lower than two-sided because it skips the
+    /// remote software stack. Used by `papyrus-dsm`.
+    pub rdma_latency: SimNs,
+}
+
+impl NetModel {
+    /// Cost of a two-sided message carrying `bytes` of payload.
+    pub fn msg_ns(&self, bytes: u64) -> SimNs {
+        self.msg_latency + transfer_ns(bytes, self.bandwidth)
+    }
+
+    /// Cost of a one-sided RDMA get/put of `bytes`.
+    pub fn rdma_ns(&self, bytes: u64) -> SimNs {
+        self.rdma_latency + transfer_ns(bytes, self.bandwidth)
+    }
+
+    /// Mellanox InfiniBand EDR (Summitdev).
+    pub fn infiniband_edr() -> Self {
+        Self {
+            name: "infiniband-edr",
+            msg_latency: 3 * US,
+            bandwidth: 11 * GIB,
+            rdma_latency: US,
+        }
+    }
+
+    /// Intel Omni-Path (Stampede).
+    pub fn omni_path() -> Self {
+        Self {
+            name: "omni-path",
+            msg_latency: 3 * US,
+            bandwidth: 10 * GIB,
+            rdma_latency: (1.3 * US as f64) as u64,
+        }
+    }
+
+    /// Cray Aries Dragonfly (Cori).
+    pub fn aries_dragonfly() -> Self {
+        Self {
+            name: "aries-dragonfly",
+            msg_latency: 2 * US,
+            bandwidth: 9 * GIB,
+            rdma_latency: US,
+        }
+    }
+
+    /// Free network for unit tests.
+    pub fn free() -> Self {
+        Self {
+            name: "free",
+            msg_latency: 0,
+            bandwidth: 0,
+            rdma_latency: 0,
+        }
+    }
+}
+
+/// DRAM cost model for MemTable operations.
+///
+/// In the relaxed consistency mode a put touches memory only, so the paper's
+/// Figure 6 put curves are DDR4-shaped: latency-bound for small values,
+/// bandwidth-bound (then flat) for large ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemModel {
+    /// Per-operation random-access cost: tree descent, pointer chasing (ns).
+    pub op_latency: SimNs,
+    /// Streaming copy bandwidth per rank (bytes/sec).
+    pub copy_bw: u64,
+}
+
+impl MemModel {
+    /// Cost of a MemTable insert/lookup moving `bytes` of key+value.
+    pub fn op_ns(&self, bytes: u64) -> SimNs {
+        self.op_latency + transfer_ns(bytes, self.copy_bw)
+    }
+
+    /// DDR4 as in the evaluation systems. Per-rank copy bandwidth reflects a
+    /// single core's share of the socket.
+    pub fn ddr4() -> Self {
+        Self {
+            op_latency: 350,
+            copy_bw: 6 * GIB,
+        }
+    }
+
+    /// Free memory model for unit tests.
+    pub fn free() -> Self {
+        Self {
+            op_latency: 0,
+            copy_bw: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KIB;
+
+    #[test]
+    fn nvm_random_read_orders_of_magnitude_faster_than_lustre() {
+        let nvme = DeviceModel::nvme_summitdev();
+        let lustre = DeviceModel::lustre();
+        let v = 128 * KIB;
+        let nvme_ns = nvme.open_ns() + nvme.read_ns(v, AccessPattern::Random);
+        let lustre_ns = lustre.open_ns() + lustre.read_ns(v, AccessPattern::Random);
+        assert!(
+            lustre_ns > 20 * nvme_ns,
+            "lustre {lustre_ns} vs nvme {nvme_ns}"
+        );
+    }
+
+    #[test]
+    fn lustre_striped_sequential_write_competitive_at_large_sizes() {
+        let nvme = DeviceModel::nvme_summitdev();
+        let lustre = DeviceModel::lustre();
+        let big = 64 * MIB;
+        // With striping, large sequential Lustre writes approach or beat a
+        // single NVMe device (paper §5.2, Figure 6 barrier curves).
+        assert!(lustre.write_ns(big, AccessPattern::Sequential) < 3 * nvme.write_ns(big, AccessPattern::Sequential));
+    }
+
+    #[test]
+    fn lustre_small_write_much_slower_than_nvme() {
+        let nvme = DeviceModel::nvme_summitdev();
+        let lustre = DeviceModel::lustre();
+        let small = KIB;
+        assert!(
+            lustre.write_ns(small, AccessPattern::Sequential)
+                > 10 * nvme.write_ns(small, AccessPattern::Sequential)
+        );
+    }
+
+    #[test]
+    fn burst_buffer_stripes_large_transfers() {
+        let bb = DeviceModel::burst_buffer_cori();
+        let one = bb.write_ns(MIB, AccessPattern::Sequential);
+        let eight = bb.write_ns(8 * MIB, AccessPattern::Sequential);
+        // 8 MiB across 8 stripes should cost much less than 8x the 1-MiB cost.
+        assert!(eight < 4 * one, "eight={eight} one={one}");
+    }
+
+    #[test]
+    fn striping_never_applies_to_random_reads() {
+        let lustre = DeviceModel::lustre();
+        let r1 = lustre.read_ns(MIB, AccessPattern::Random);
+        let r16 = lustre.read_ns(16 * MIB, AccessPattern::Random);
+        // Random reads scale linearly in bytes (no stripe speedup).
+        assert!(r16 > 14 * (r1 - lustre.read_latency));
+    }
+
+    #[test]
+    fn rdma_cheaper_than_message() {
+        for net in [
+            NetModel::infiniband_edr(),
+            NetModel::omni_path(),
+            NetModel::aries_dragonfly(),
+        ] {
+            assert!(net.rdma_ns(64) < net.msg_ns(64), "{}", net.name);
+        }
+    }
+
+    #[test]
+    fn free_models_cost_nothing() {
+        assert_eq!(NetModel::free().msg_ns(12345), 0);
+        assert_eq!(MemModel::free().op_ns(12345), 0);
+        let d = DeviceModel::dram();
+        assert_eq!(d.read_ns(1 << 20, AccessPattern::Random), 0);
+        assert_eq!(d.write_ns(1 << 20, AccessPattern::Sequential), 0);
+    }
+
+    #[test]
+    fn ddr4_small_op_latency_bound_large_bandwidth_bound() {
+        let m = MemModel::ddr4();
+        let small = m.op_ns(256);
+        let large = m.op_ns(MIB as u64);
+        assert!(small < 2 * m.op_latency);
+        assert!(large > 10 * small);
+    }
+}

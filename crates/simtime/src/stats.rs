@@ -1,0 +1,206 @@
+//! Throughput accounting helpers used by the benchmark harnesses.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::{SimNs, MIB, SEC};
+
+/// Kilo-requests-per-second for `ops` operations over `ns` virtual ns — the
+/// KRPS metric the paper reports for small values.
+pub fn krps(ops: u64, ns: SimNs) -> f64 {
+    if ns == 0 {
+        return 0.0;
+    }
+    (ops as f64 * SEC as f64 / ns as f64) / 1_000.0
+}
+
+/// Megabytes-per-second for `bytes` over `ns` virtual ns — the MBPS metric
+/// the paper reports for large values.
+pub fn mbps(bytes: u64, ns: SimNs) -> f64 {
+    if ns == 0 {
+        return 0.0;
+    }
+    bytes as f64 / MIB as f64 * SEC as f64 / ns as f64
+}
+
+/// Thread-safe operation counters shared across a rank and its background
+/// threads. Each counter is a monotone accumulator.
+#[derive(Debug, Clone, Default)]
+pub struct OpStats {
+    inner: Arc<OpStatsInner>,
+}
+
+#[derive(Debug, Default)]
+struct OpStatsInner {
+    ops: AtomicU64,
+    bytes: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl OpStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one operation moving `bytes`.
+    #[inline]
+    pub fn record(&self, bytes: u64) {
+        self.inner.ops.fetch_add(1, Ordering::Relaxed);
+        self.inner.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record a cache/bloom hit.
+    #[inline]
+    pub fn hit(&self) {
+        self.inner.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a cache/bloom miss.
+    #[inline]
+    pub fn miss(&self) {
+        self.inner.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total operations recorded.
+    pub fn ops(&self) -> u64 {
+        self.inner.ops.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes recorded.
+    pub fn bytes(&self) -> u64 {
+        self.inner.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total hits recorded.
+    pub fn hits(&self) -> u64 {
+        self.inner.hits.load(Ordering::Relaxed)
+    }
+
+    /// Total misses recorded.
+    pub fn misses(&self) -> u64 {
+        self.inner.misses.load(Ordering::Relaxed)
+    }
+
+    /// Hit ratio in `[0, 1]`; 0 when nothing recorded.
+    pub fn hit_ratio(&self) -> f64 {
+        let h = self.hits();
+        let m = self.misses();
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+}
+
+/// A per-rank series of (label, virtual-time) measurement points, used by the
+/// figure harnesses to report avg/min/max across ranks like the paper's
+/// output logs.
+#[derive(Debug, Default, Clone)]
+pub struct Timeline {
+    points: Vec<(String, SimNs)>,
+}
+
+impl Timeline {
+    /// Empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a measurement.
+    pub fn push(&mut self, label: impl Into<String>, t: SimNs) {
+        self.points.push((label.into(), t));
+    }
+
+    /// All points in insertion order.
+    pub fn points(&self) -> &[(String, SimNs)] {
+        &self.points
+    }
+
+    /// Duration between two labelled points (first occurrence each);
+    /// `None` if either label is missing or ordering is inverted.
+    pub fn span(&self, from: &str, to: &str) -> Option<SimNs> {
+        let a = self.points.iter().find(|(l, _)| l == from)?.1;
+        let b = self.points.iter().find(|(l, _)| l == to)?.1;
+        b.checked_sub(a)
+    }
+}
+
+/// Summarise per-rank durations the way the paper's logs do: average,
+/// minimum, and maximum.
+pub fn avg_min_max(durations: &[SimNs]) -> (f64, SimNs, SimNs) {
+    if durations.is_empty() {
+        return (0.0, 0, 0);
+    }
+    let sum: u128 = durations.iter().map(|&d| d as u128).sum();
+    let avg = sum as f64 / durations.len() as f64;
+    let min = *durations.iter().min().unwrap();
+    let max = *durations.iter().max().unwrap();
+    (avg, min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn krps_basic() {
+        // 1000 ops in 1 second = 1 KRPS.
+        assert!((krps(1000, SEC) - 1.0).abs() < 1e-9);
+        assert_eq!(krps(1000, 0), 0.0);
+    }
+
+    #[test]
+    fn mbps_basic() {
+        assert!((mbps(MIB, SEC) - 1.0).abs() < 1e-9);
+        assert_eq!(mbps(MIB, 0), 0.0);
+    }
+
+    #[test]
+    fn opstats_accumulate() {
+        let s = OpStats::new();
+        s.record(10);
+        s.record(20);
+        assert_eq!(s.ops(), 2);
+        assert_eq!(s.bytes(), 30);
+    }
+
+    #[test]
+    fn opstats_shared_across_clones() {
+        let s = OpStats::new();
+        let s2 = s.clone();
+        s.record(5);
+        assert_eq!(s2.ops(), 1);
+    }
+
+    #[test]
+    fn hit_ratio() {
+        let s = OpStats::new();
+        assert_eq!(s.hit_ratio(), 0.0);
+        s.hit();
+        s.hit();
+        s.miss();
+        assert!((s.hit_ratio() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeline_span() {
+        let mut t = Timeline::new();
+        t.push("start", 100);
+        t.push("end", 400);
+        assert_eq!(t.span("start", "end"), Some(300));
+        assert_eq!(t.span("end", "start"), None);
+        assert_eq!(t.span("start", "nope"), None);
+    }
+
+    #[test]
+    fn avg_min_max_basic() {
+        let (avg, min, max) = avg_min_max(&[10, 20, 30]);
+        assert!((avg - 20.0).abs() < 1e-9);
+        assert_eq!(min, 10);
+        assert_eq!(max, 30);
+        assert_eq!(avg_min_max(&[]), (0.0, 0, 0));
+    }
+}

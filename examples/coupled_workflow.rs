@@ -1,0 +1,88 @@
+//! Coupled-application zero-copy workflow (paper §4.1, Figure 5a).
+//!
+//! Two "applications" run back to back in one job: a *producer* (e.g. a
+//! simulation) writes a field per grid cell into a PapyrusKV database and
+//! closes it; a *consumer* (e.g. an analysis code) reopens the database by
+//! name and reads the field back. Because the SSTables persist on the NVM
+//! scratch between the two opens, the handoff moves **zero bytes**: the
+//! consumer's `open` composes the database from the retained SSTables.
+
+use papyrus_examples::{fmt_sim, ranks_from_args};
+use papyrus_mpi::{World, WorldConfig};
+use papyrus_nvm::SystemProfile;
+use papyruskv::{BarrierLevel, Context, OpenFlags, Options, Platform};
+
+/// Cells of the simulated field, partitioned across ranks round-robin.
+const CELLS: usize = 2_000;
+
+fn cell_key(i: usize) -> String {
+    format!("field/cell/{i:06}")
+}
+
+/// A toy stencil result: the "simulation" output for one cell.
+fn produce_cell(i: usize) -> Vec<u8> {
+    let v = (i as f64).sin() * 1e6;
+    format!("{{\"cell\":{i},\"temperature\":{v:.3}}}").into_bytes()
+}
+
+fn main() {
+    let n = ranks_from_args(8);
+    // Node-local NVMe: metadata round trips are microseconds, so the
+    // zero-copy reopen is visibly free. (On a burst-buffer machine the
+    // compose still moves no data, but each SSTable open pays a ~0.5 ms
+    // metadata round trip to the burst-buffer nodes.)
+    let profile = SystemProfile::summitdev();
+    let platform = Platform::new(profile.clone(), n);
+    println!("coupled_workflow: {n} ranks on a simulated {}", profile.name);
+
+    let times = World::run(WorldConfig::new(n, profile.net.clone()), move |rank| {
+        let ctx = Context::init(rank, platform.clone(), "nvm://workflow").unwrap();
+        let me = ctx.rank();
+
+        // ---- Application 1: producer -----------------------------------
+        let producer_start = ctx.now();
+        {
+            let db = ctx.open("field", OpenFlags::create(), Options::default()).unwrap();
+            for i in (me..CELLS).step_by(ctx.size()) {
+                db.put(cell_key(i).as_bytes(), &produce_cell(i)).unwrap();
+            }
+            // Close flushes everything to SSTables and retains them.
+            db.close().unwrap();
+        }
+        let producer_done = ctx.now();
+
+        // ---- Application 2: consumer -----------------------------------
+        // Reopen by name: zero-copy compose from the retained SSTables.
+        let db = ctx.open("field", OpenFlags::create(), Options::default()).unwrap();
+        let compose_done = ctx.now();
+        assert!(db.sstable_count() >= 1, "consumer must see retained SSTables");
+
+        // The consumer reads a *different* partition than it wrote — a
+        // transpose, the classic coupling pattern.
+        let mut checksum = 0u64;
+        for i in ((me * 7) % CELLS..CELLS).step_by(ctx.size() * 3) {
+            let v = db.get(cell_key(i).as_bytes()).unwrap();
+            assert_eq!(v, produce_cell(i), "cell {i} corrupted in handoff");
+            checksum = checksum.wrapping_add(v.iter().map(|&b| b as u64).sum::<u64>());
+        }
+        db.barrier(BarrierLevel::MemTable).unwrap();
+        db.close().unwrap();
+        let consumer_done = ctx.now();
+        ctx.finalize().unwrap();
+        (
+            producer_done - producer_start,
+            compose_done - producer_done,
+            consumer_done - compose_done,
+            checksum,
+        )
+    });
+
+    let produce = times.iter().map(|t| t.0).max().unwrap();
+    let compose = times.iter().map(|t| t.1).max().unwrap();
+    let consume = times.iter().map(|t| t.2).max().unwrap();
+    println!("producer phase : {}", fmt_sim(produce));
+    println!("zero-copy open : {} (no data movement, metadata only)", fmt_sim(compose));
+    println!("consumer phase : {}", fmt_sim(consume));
+    assert!(compose < produce / 2, "compose must be far cheaper than re-writing");
+    println!("handoff verified: consumer read every cell it sampled correctly");
+}

@@ -1,0 +1,49 @@
+//! Shared helpers for the PapyrusKV example binaries.
+//!
+//! Each example is a self-contained SPMD program: it builds a simulated
+//! [`papyruskv::Platform`], launches a [`papyrus_mpi::World`] of thread
+//! ranks, and drives the PapyrusKV public API the way an MPI application
+//! would. Run them with, e.g.:
+//!
+//! ```text
+//! cargo run --release -p papyrus-examples --bin quickstart
+//! cargo run --release -p papyrus-examples --bin coupled_workflow
+//! cargo run --release -p papyrus-examples --bin fault_tolerance
+//! cargo run --release -p papyrus-examples --bin genome_assembly
+//! ```
+
+use papyrus_simtime::SimNs;
+
+/// Pretty-print a virtual-time duration.
+pub fn fmt_sim(ns: SimNs) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Parse the first CLI argument as a rank count, with a default.
+pub fn ranks_from_args(default: usize) -> usize {
+    std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_sim_ranges() {
+        assert_eq!(fmt_sim(5), "5ns");
+        assert_eq!(fmt_sim(1_500), "1.5us");
+        assert_eq!(fmt_sim(2_500_000), "2.50ms");
+        assert_eq!(fmt_sim(3_000_000_000), "3.000s");
+    }
+}

@@ -1,0 +1,14 @@
+#!/bin/bash
+# Regenerate every figure's recorded output (moderate scale).
+set -x
+cd /root/repo
+B=./target/release
+$B/fig6_basic --systems                          > results/table2.txt 2>&1
+$B/fig6_basic --iters 20                         > results/fig6.txt 2>&1
+$B/fig7_consistency --ranks 2,4,8,16,32 --iters 12 > results/fig7.txt 2>&1
+$B/fig8_get --ranks 4,8,16,32 --iters 120        > results/fig8.txt 2>&1
+$B/fig9_workload --ranks 2,4,8,16 --iters 24     > results/fig9.txt 2>&1
+$B/fig10_cr --ranks 2,4,8,16 --iters 20          > results/fig10.txt 2>&1
+$B/fig11_mdhim --ranks 2,4,8,16,32 --iters 30    > results/fig11.txt 2>&1
+$B/fig13_meraculous --ranks 4,8,16,32            > results/fig13.txt 2>&1
+echo ALL_FIGURES_DONE

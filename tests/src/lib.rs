@@ -1,0 +1,29 @@
+//! Support crate for the cross-crate integration tests in `tests/tests/`.
+//!
+//! The tests exercise whole-system scenarios spanning the substrates
+//! (`papyrus-simtime`, `papyrus-mpi`, `papyrus-nvm`), the core KVS
+//! (`papyruskv`), the baselines (`mdhim`, `papyrus-dsm`), and the
+//! application (`meraculous`).
+
+/// Deterministic keys shared by several scenarios: `k<rank>-<i>`.
+pub fn scenario_key(rank: usize, i: usize) -> Vec<u8> {
+    format!("k{rank}-{i:05}").into_bytes()
+}
+
+/// Deterministic value for a key.
+pub fn scenario_value(rank: usize, i: usize, tag: u8) -> Vec<u8> {
+    let mut v = format!("v{rank}-{i:05}").into_bytes();
+    v.push(tag);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_and_values_are_deterministic() {
+        assert_eq!(scenario_key(3, 7), b"k3-00007".to_vec());
+        assert_eq!(scenario_value(3, 7, b'x'), b"v3-00007x".to_vec());
+    }
+}

@@ -1,0 +1,154 @@
+//! End-to-end application pipeline: synthesize a genome, assemble it on
+//! both back-ends, persist the contigs through PapyrusKV checkpoint, and
+//! recover them — the full §5.2 scenario plus the §4 persistence story.
+
+use std::sync::Arc;
+
+use meraculous::{
+    assemble::{construct, meraculous_hash, traverse, DsmBackend, PkvBackend},
+    genome::{synthesize_genome, synthesize_reads, GenomeConfig},
+    ufx::build_dataset,
+    verify::{check_contigs, validate_against_genome},
+};
+use papyrus_dsm::GlobalHashTable;
+use papyrus_mpi::{World, WorldConfig};
+use papyrus_nvm::SystemProfile;
+use papyrus_simtime::{MemModel, NetModel};
+use papyruskv::{BarrierLevel, Context, OpenFlags, Options, Platform};
+
+fn test_genome() -> GenomeConfig {
+    GenomeConfig { length: 8_000, repeats: 6, repeat_len: 40, read_len: 120, coverage: 6, seed: 99 }
+}
+
+#[test]
+fn assembly_agrees_across_backends_and_covers_genome() {
+    let cfg = test_genome();
+    let k = 21;
+    let genome = synthesize_genome(&cfg);
+    let reads = synthesize_reads(&genome, &cfg);
+    let dataset = Arc::new(build_dataset(&reads, k));
+
+    // PKV backend.
+    let platform = Platform::new(SystemProfile::test_profile(), 3);
+    let ds = dataset.clone();
+    let pkv: Vec<Vec<u8>> = World::run(WorldConfig::for_tests(3), move |rank| {
+        let ctx = Context::init(rank.clone(), platform.clone(), "nvm://asm").unwrap();
+        let opt = Options::small()
+            .with_memtable_capacity(1 << 20)
+            .with_custom_hash(Arc::new(meraculous_hash));
+        let db = ctx.open("kmers", OpenFlags::create(), opt).unwrap();
+        let backend = PkvBackend::new(db.clone());
+        construct(&backend, &ds, rank.rank(), rank.size());
+        let contigs = traverse(&backend, &ds, rank.rank(), k, ds.len() + 10);
+        db.close().unwrap();
+        ctx.finalize().unwrap();
+        contigs
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+
+    // DSM backend.
+    let shared = GlobalHashTable::shared(3, 4096, NetModel::free(), MemModel::free());
+    let ds = dataset.clone();
+    let dsm: Vec<Vec<u8>> = World::run(WorldConfig::for_tests(3), move |rank| {
+        let backend =
+            DsmBackend::new(GlobalHashTable::attach(shared.clone(), rank.clone()), rank.clone());
+        construct(&backend, &ds, rank.rank(), rank.size());
+        traverse(&backend, &ds, rank.rank(), k, ds.len() + 10)
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+
+    let report = check_contigs(&genome, &pkv, &dsm, 950).expect("backends must agree");
+    assert!(report.contigs > 1, "repeats must break the genome into contigs");
+    assert!(report.coverage_permille >= 950);
+}
+
+#[test]
+fn contigs_survive_checkpoint_restart() {
+    // Assemble, store contigs in a second database, checkpoint it, lose the
+    // scratch, restart, and verify the recovered contigs still cover the
+    // genome.
+    let cfg = test_genome();
+    let k = 21;
+    let genome = synthesize_genome(&cfg);
+    let reads = synthesize_reads(&genome, &cfg);
+    let dataset = Arc::new(build_dataset(&reads, k));
+    let platform = Platform::new(SystemProfile::test_profile(), 2);
+    let genome2 = genome.clone();
+
+    World::run(WorldConfig::for_tests(2), move |rank| {
+        let ctx = Context::init(rank.clone(), platform.clone(), "nvm://asmcr").unwrap();
+        let kopt = Options::small()
+            .with_memtable_capacity(1 << 20)
+            .with_custom_hash(Arc::new(meraculous_hash));
+        let kdb = ctx.open("kmers", OpenFlags::create(), kopt).unwrap();
+        let backend = PkvBackend::new(kdb.clone());
+        construct(&backend, &dataset, rank.rank(), rank.size());
+        let contigs = traverse(&backend, &dataset, rank.rank(), k, dataset.len() + 10);
+
+        // Persist this rank's contigs into a results database.
+        let rdb = ctx.open("contigs", OpenFlags::create(), Options::small()).unwrap();
+        for (i, c) in contigs.iter().enumerate() {
+            let key = format!("contig/{}/{}", rank.rank(), i);
+            rdb.put(key.as_bytes(), c).unwrap();
+        }
+        rdb.barrier(BarrierLevel::SsTable).unwrap();
+        let ev = rdb.checkpoint("pfs/contigs").unwrap();
+        ev.wait();
+        rdb.destroy().unwrap();
+        kdb.close().unwrap();
+        ctx.barrier_all();
+        if ctx.rank() == 0 {
+            platform.storage.trim_nvm();
+        }
+        ctx.barrier_all();
+
+        // Recover and re-validate.
+        let (rdb2, ev) = ctx
+            .restart("pfs/contigs", "contigs", OpenFlags::create(), Options::small(), false)
+            .unwrap();
+        ev.wait();
+        let mut recovered = Vec::new();
+        for r in 0..ctx.size() {
+            let mut i = 0;
+            while let Some(c) = rdb2.get_opt(format!("contig/{r}/{i}").as_bytes()).unwrap() {
+                recovered.push(c.to_vec());
+                i += 1;
+            }
+        }
+        let report = validate_against_genome(&genome2, &recovered, 950)
+            .expect("recovered contigs must still be valid");
+        assert!(report.contigs >= 1);
+        rdb2.close().unwrap();
+        ctx.finalize().unwrap();
+    });
+}
+
+#[test]
+fn assembly_deterministic_across_runs() {
+    let cfg = test_genome();
+    let k = 21;
+    let genome = synthesize_genome(&cfg);
+    let reads = synthesize_reads(&genome, &cfg);
+    let run = || {
+        let dataset = Arc::new(build_dataset(&reads, k));
+        let shared = GlobalHashTable::shared(2, 1024, NetModel::free(), MemModel::free());
+        let mut out: Vec<Vec<u8>> = World::run(WorldConfig::for_tests(2), move |rank| {
+            let backend = DsmBackend::new(
+                GlobalHashTable::attach(shared.clone(), rank.clone()),
+                rank.clone(),
+            );
+            construct(&backend, &dataset, rank.rank(), rank.size());
+            traverse(&backend, &dataset, rank.rank(), k, dataset.len() + 10)
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        out.sort();
+        out
+    };
+    assert_eq!(run(), run(), "assembly must be deterministic");
+}

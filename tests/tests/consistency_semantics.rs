@@ -1,0 +1,210 @@
+//! Semantics tests for §3 of the paper: what relaxed vs sequential
+//! consistency, fences, barriers, signals, and protection attributes
+//! actually guarantee.
+
+use std::sync::Arc;
+
+use papyrus_integration_tests::scenario_key;
+use papyrus_mpi::{World, WorldConfig};
+use papyrus_nvm::SystemProfile;
+use papyruskv::{
+    BarrierLevel, Consistency, Context, Error, OpenFlags, Options, Platform, Protection,
+};
+
+#[test]
+fn relaxed_mode_converges_at_barrier() {
+    // After a barrier, "it is guaranteed that all MPI ranks will see the
+    // same latest data in the database" (§3.1).
+    let platform = Platform::new(SystemProfile::test_profile(), 4);
+    World::run(WorldConfig::for_tests(4), move |rank| {
+        let ctx = Context::init(rank, platform.clone(), "nvm://conv").unwrap();
+        let db = ctx.open("db", OpenFlags::create(), Options::small()).unwrap();
+        let me = ctx.rank();
+        // Multiple update rounds: every rank overwrites shared keys; the
+        // last round before each barrier must win everywhere.
+        for round in 0..3u8 {
+            for i in 0..20 {
+                // All ranks write the same keys with the same value, so
+                // convergence is well-defined.
+                db.put(&scenario_key(0, i), &[round, me as u8 ^ me as u8]).unwrap();
+            }
+            db.barrier(BarrierLevel::MemTable).unwrap();
+            for i in 0..20 {
+                let v = db.get(&scenario_key(0, i)).unwrap();
+                assert_eq!(v[0], round, "stale round visible after barrier");
+            }
+            db.barrier(BarrierLevel::MemTable).unwrap();
+        }
+        db.close().unwrap();
+        ctx.finalize().unwrap();
+    });
+}
+
+#[test]
+fn sequential_mode_with_signal_ordering() {
+    // "The programmer can make the synchronization points order among the
+    // MPI ranks by using signal primitives" (§3.1): a chain of rank i
+    // writing then signalling rank i+1 yields a fully ordered history.
+    let platform = Platform::new(SystemProfile::test_profile(), 4);
+    World::run(WorldConfig::for_tests(4), move |rank| {
+        let ctx = Context::init(rank, platform.clone(), "nvm://chainsig").unwrap();
+        let opt = Options::small().with_consistency(Consistency::Sequential);
+        let db = ctx.open("db", OpenFlags::create(), opt).unwrap();
+        let me = ctx.rank();
+        let n = ctx.size();
+        if me > 0 {
+            ctx.signal_wait(1, &[me - 1]).unwrap();
+            // Everything every predecessor wrote is visible (sequential
+            // puts complete before the signal is sent).
+            for prev in 0..me {
+                for i in 0..10 {
+                    assert_eq!(&db.get(&scenario_key(prev, i)).unwrap()[..], &[prev as u8][..]);
+                }
+            }
+        }
+        for i in 0..10 {
+            db.put(&scenario_key(me, i), &[me as u8]).unwrap();
+        }
+        if me + 1 < n {
+            ctx.signal_notify(1, &[me + 1]).unwrap();
+        }
+        db.barrier(BarrierLevel::MemTable).unwrap();
+        db.close().unwrap();
+        ctx.finalize().unwrap();
+    });
+}
+
+#[test]
+fn fence_is_local_barrier_is_collective() {
+    // A fence drains only the *caller's* migration queue; it does not wait
+    // for other ranks (unlike the collective barrier).
+    let platform = Platform::new(SystemProfile::test_profile(), 2);
+    World::run(WorldConfig::for_tests(2), move |rank| {
+        let ctx = Context::init(rank, platform.clone(), "nvm://fencebar").unwrap();
+        let db = ctx.open("db", OpenFlags::create(), Options::small()).unwrap();
+        if ctx.rank() == 0 {
+            for i in 0..30 {
+                db.put(&scenario_key(0, i), b"f").unwrap();
+            }
+            // Fence returns without rank 1's participation.
+            db.fence().unwrap();
+        }
+        // Both ranks reach the barrier independently — if fence were
+        // collective, rank 0 would deadlock above.
+        db.barrier(BarrierLevel::MemTable).unwrap();
+        for i in 0..30 {
+            assert!(db.get(&scenario_key(0, i)).is_ok());
+        }
+        db.close().unwrap();
+        ctx.finalize().unwrap();
+    });
+}
+
+#[test]
+fn dynamic_consistency_switching_preserves_data() {
+    // "it can be changed dynamically during program execution" (§3.1):
+    // flip modes repeatedly; no data may be lost at any switch.
+    let platform = Platform::new(SystemProfile::test_profile(), 3);
+    World::run(WorldConfig::for_tests(3), move |rank| {
+        let ctx = Context::init(rank, platform.clone(), "nvm://flip").unwrap();
+        let db = ctx.open("db", OpenFlags::create(), Options::small()).unwrap();
+        let me = ctx.rank();
+        for (round, mode) in [
+            Consistency::Relaxed,
+            Consistency::Sequential,
+            Consistency::Relaxed,
+            Consistency::Sequential,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            db.set_consistency(mode).unwrap();
+            for i in 0..15 {
+                db.put(&scenario_key(me, round * 100 + i), &[round as u8]).unwrap();
+            }
+            db.barrier(BarrierLevel::MemTable).unwrap();
+            // All data from all earlier rounds still present.
+            for r in 0..ctx.size() {
+                for past in 0..=round {
+                    for i in 0..15 {
+                        assert_eq!(
+                            db.get(&scenario_key(r, past * 100 + i)).unwrap()[0],
+                            past as u8
+                        );
+                    }
+                }
+            }
+        }
+        db.close().unwrap();
+        ctx.finalize().unwrap();
+    });
+}
+
+#[test]
+fn protection_cycle_full_lifecycle() {
+    // WRONLY phase -> RDONLY phase -> RDWR, as in §3.2's phased application.
+    let platform = Platform::new(SystemProfile::test_profile(), 2);
+    World::run(WorldConfig::for_tests(2), move |rank| {
+        let ctx = Context::init(rank, platform.clone(), "nvm://protcycle").unwrap();
+        let db = ctx.open("db", OpenFlags::create(), Options::small()).unwrap();
+        let me = ctx.rank();
+
+        // Write-only phase.
+        db.protect(Protection::WriteOnly).unwrap();
+        for i in 0..25 {
+            db.put(&scenario_key(me, i), b"w").unwrap();
+        }
+        // Read-only phase: reads work, writes rejected, remote cache on.
+        db.protect(Protection::ReadOnly).unwrap();
+        for r in 0..2 {
+            for i in 0..25 {
+                assert_eq!(&db.get(&scenario_key(r, i)).unwrap()[..], b"w");
+            }
+        }
+        assert_eq!(db.put(b"no", b"no").unwrap_err(), Error::Protected);
+        // Second pass: remote-cache hits must appear.
+        let misses_before = db.get_stats().misses();
+        for r in 0..2 {
+            for i in 0..25 {
+                db.get(&scenario_key(r, i)).unwrap();
+            }
+        }
+        assert_eq!(
+            db.get_stats().misses(),
+            misses_before,
+            "second read-only pass must be all cache hits"
+        );
+
+        // Back to read-write; updates flow again.
+        db.protect(Protection::ReadWrite).unwrap();
+        db.put(&scenario_key(me, 0), b"rw").unwrap();
+        db.barrier(BarrierLevel::MemTable).unwrap();
+        db.close().unwrap();
+        ctx.finalize().unwrap();
+    });
+}
+
+#[test]
+fn custom_hash_and_storage_groups_compose() {
+    // A skewed custom hash (everything on rank 0) with a job-wide storage
+    // group: all remote reads of flushed data go through the shared-SSTable
+    // path against rank 0's tables.
+    let platform = Platform::with_physical_groups(SystemProfile::test_profile(), 3, 3);
+    World::run(WorldConfig::for_tests(3), move |rank| {
+        let ctx = Context::init_with_group(rank, platform.clone(), "nvm://skew", 3).unwrap();
+        let opt = Options::small().with_custom_hash(Arc::new(|_k: &[u8]| 0));
+        let db = ctx.open("db", OpenFlags::create(), opt).unwrap();
+        if ctx.rank() == 1 {
+            for i in 0..40 {
+                db.put(&scenario_key(9, i), &vec![b'z'; 200]).unwrap();
+            }
+        }
+        db.barrier(BarrierLevel::SsTable).unwrap();
+        // Rank 0 owns everything; ranks 1/2 read via shared SSTables.
+        for i in 0..40 {
+            assert_eq!(db.get(&scenario_key(9, i)).unwrap().len(), 200);
+        }
+        db.close().unwrap();
+        ctx.finalize().unwrap();
+    });
+}

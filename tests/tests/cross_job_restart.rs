@@ -1,0 +1,93 @@
+//! The paper's Figure 5(c) scenario for real: a snapshot taken by a job
+//! with N ranks is restarted by a *different job* with M ≠ N ranks, which
+//! forces the redistribution path (the hash maps keys with `mod M`, so the
+//! old SSTables cannot be reused verbatim).
+
+use papyrus_integration_tests::{scenario_key, scenario_value};
+use papyrus_mpi::{World, WorldConfig};
+use papyrus_nvm::SystemProfile;
+use papyruskv::{Context, Error, OpenFlags, Options, Platform};
+
+/// Job 1: `n_writers` ranks fill and checkpoint the database.
+fn writer_job(platform: &std::sync::Arc<Platform>, n: usize, per_rank: usize) {
+    let platform = platform.clone();
+    World::run(WorldConfig::for_tests(n), move |rank| {
+        let ctx = Context::init(rank, platform.clone(), "nvm://xjob").unwrap();
+        let db = ctx.open("data", OpenFlags::create(), Options::small()).unwrap();
+        let me = ctx.rank();
+        for i in 0..per_rank {
+            db.put(&scenario_key(me, i), &scenario_value(me, i, b'x')).unwrap();
+        }
+        // Include deletions so tombstones cross the job boundary correctly.
+        if me == 0 {
+            db.barrier(papyruskv::BarrierLevel::MemTable).unwrap();
+            db.delete(&scenario_key(0, 0)).unwrap();
+        } else {
+            db.barrier(papyruskv::BarrierLevel::MemTable).unwrap();
+        }
+        let ev = db.checkpoint("pfs-xjob/snap").unwrap();
+        ev.wait();
+        db.close().unwrap();
+        ctx.finalize().unwrap();
+    });
+}
+
+/// Job 2: `m_readers` ranks restart from the snapshot and verify.
+fn reader_job(platform: &std::sync::Arc<Platform>, m: usize, n_writers: usize, per_rank: usize) {
+    let platform = platform.clone();
+    World::run(WorldConfig::for_tests(m), move |rank| {
+        let ctx = Context::init(rank, platform.clone(), "nvm://xjob2").unwrap();
+        let (db, ev) = ctx
+            .restart("pfs-xjob/snap", "data", OpenFlags::create(), Options::small(), false)
+            .unwrap();
+        ev.wait();
+        for w in 0..n_writers {
+            for i in 0..per_rank {
+                let res = db.get(&scenario_key(w, i));
+                if w == 0 && i == 0 {
+                    assert_eq!(res.unwrap_err(), Error::NotFound, "tombstone lost");
+                } else {
+                    assert_eq!(
+                        &res.unwrap()[..],
+                        &scenario_value(w, i, b'x')[..],
+                        "key k{w}-{i} corrupted across jobs"
+                    );
+                }
+            }
+        }
+        db.close().unwrap();
+        ctx.finalize().unwrap();
+    });
+}
+
+#[test]
+fn shrink_job_forces_redistribution() {
+    // 4-rank writer job, 2-rank reader job.
+    let profile = SystemProfile::test_profile();
+    let writers = Platform::new(profile.clone(), 4);
+    writer_job(&writers, 4, 30);
+    let readers = Platform::new_job(profile, 2, &writers);
+    // The reader job has a fresh NVM scratch but the same PFS.
+    assert!(readers.storage.pfs().exists("pfs-xjob/snap/data/META"));
+    reader_job(&readers, 2, 4, 30);
+}
+
+#[test]
+fn grow_job_forces_redistribution() {
+    // 2-rank writer job, 5-rank reader job.
+    let profile = SystemProfile::test_profile();
+    let writers = Platform::new(profile.clone(), 2);
+    writer_job(&writers, 2, 30);
+    let readers = Platform::new_job(profile, 5, &writers);
+    reader_job(&readers, 5, 2, 30);
+}
+
+#[test]
+fn same_size_job_reuses_sstables_verbatim() {
+    // Same rank count across jobs: Figure 5(b) — no redistribution needed.
+    let profile = SystemProfile::test_profile();
+    let writers = Platform::new(profile.clone(), 3);
+    writer_job(&writers, 3, 25);
+    let readers = Platform::new_job(profile, 3, &writers);
+    reader_job(&readers, 3, 3, 25);
+}

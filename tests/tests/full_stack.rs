@@ -1,0 +1,241 @@
+//! Whole-system integration tests: realistic device models, cross-system
+//! comparisons, and the PapyrusKV-vs-baselines contracts the paper's
+//! evaluation relies on.
+
+use papyrus_integration_tests::{scenario_key, scenario_value};
+use papyrus_mpi::{World, WorldConfig};
+use papyrus_nvm::SystemProfile;
+use papyruskv::{BarrierLevel, Consistency, Context, OpenFlags, Options, Platform};
+
+/// Fill-then-read on a given system profile with real cost models; returns
+/// (put virtual ns, get virtual ns) of the slowest rank.
+fn fill_then_read(profile: SystemProfile, n: usize, iters: usize, vallen: usize) -> (u64, u64) {
+    let platform = Platform::new(profile.clone(), n);
+    let out = World::run(WorldConfig::new(n, profile.net.clone()), move |rank| {
+        let ctx = Context::init(rank.clone(), platform.clone(), "nvm://fullstack").unwrap();
+        let db = ctx
+            .open("db", OpenFlags::create(), Options::default().with_memtable_capacity(1 << 20))
+            .unwrap();
+        let me = ctx.rank();
+        let value = vec![b'v'; vallen];
+        let t0 = ctx.now();
+        for i in 0..iters {
+            db.put(&scenario_key(me, i), &value).unwrap();
+        }
+        let t1 = ctx.now();
+        db.barrier(BarrierLevel::SsTable).unwrap();
+        let t2 = ctx.now();
+        for r in 0..ctx.size() {
+            for i in (0..iters).step_by(3) {
+                assert_eq!(db.get(&scenario_key(r, i)).unwrap().len(), vallen);
+            }
+        }
+        let t3 = ctx.now();
+        db.close().unwrap();
+        ctx.finalize().unwrap();
+        (t1 - t0, t3 - t2)
+    });
+    (
+        out.iter().map(|o| o.0).max().unwrap(),
+        out.iter().map(|o| o.1).max().unwrap(),
+    )
+}
+
+#[test]
+fn correctness_holds_under_real_cost_models() {
+    // Same scenario on all three systems: correctness is identical, only
+    // virtual time differs.
+    for profile in SystemProfile::all_eval_systems() {
+        let (put_ns, get_ns) = fill_then_read(profile.clone(), 4, 40, 4096);
+        assert!(put_ns > 0 && get_ns > 0, "{}: time must accrue", profile.name);
+    }
+}
+
+#[test]
+fn nvm_systems_read_faster_than_their_pfs() {
+    // The Figure 6 headline on a single system: the same workload with the
+    // repository on Lustre must be much slower to read back than on NVM.
+    let profile = SystemProfile::summitdev();
+    let run = |repo: &'static str| {
+        let platform = Platform::new(SystemProfile::summitdev(), 2);
+        let out = World::run(WorldConfig::new(2, profile.net.clone()), move |rank| {
+            let ctx = Context::init(rank.clone(), platform.clone(), repo).unwrap();
+            let db = ctx
+                .open("db", OpenFlags::create(), Options::default().with_memtable_capacity(1 << 20))
+                .unwrap();
+            let me = ctx.rank();
+            for i in 0..30 {
+                db.put(&scenario_key(me, i), &vec![b'x'; 32 << 10]).unwrap();
+            }
+            db.barrier(BarrierLevel::SsTable).unwrap();
+            let t0 = ctx.now();
+            for r in 0..2 {
+                for i in 0..30 {
+                    db.get(&scenario_key(r, i)).unwrap();
+                }
+            }
+            let t = ctx.now() - t0;
+            db.close().unwrap();
+            ctx.finalize().unwrap();
+            t
+        });
+        out.into_iter().max().unwrap()
+    };
+    let nvm_ns = run("nvm://cmp");
+    let pfs_ns = run("pfs://cmp");
+    assert!(
+        pfs_ns > 5 * nvm_ns,
+        "Lustre reads ({pfs_ns} ns) must be far slower than NVMe ({nvm_ns} ns)"
+    );
+}
+
+#[test]
+fn relaxed_put_phase_faster_than_sequential() {
+    // The Figure 7 headline: relaxed puts touch memory only.
+    let profile = SystemProfile::summitdev();
+    let run = |mode: Consistency| {
+        let platform = Platform::new(SystemProfile::summitdev(), 4);
+        let out = World::run(WorldConfig::new(4, profile.net.clone()), move |rank| {
+            let ctx = Context::init(rank.clone(), platform.clone(), "nvm://relseq").unwrap();
+            let db = ctx
+                .open("db", OpenFlags::create(), Options::default().with_consistency(mode))
+                .unwrap();
+            let me = ctx.rank();
+            let t0 = ctx.now();
+            for i in 0..50 {
+                db.put(&scenario_key(me, i), &vec![b'y'; 64 << 10]).unwrap();
+            }
+            let t = ctx.now() - t0;
+            db.barrier(BarrierLevel::MemTable).unwrap();
+            db.close().unwrap();
+            ctx.finalize().unwrap();
+            t
+        });
+        out.into_iter().max().unwrap()
+    };
+    let rel = run(Consistency::Relaxed);
+    let seq = run(Consistency::Sequential);
+    assert!(rel * 2 < seq, "relaxed puts ({rel} ns) must beat sequential ({seq} ns)");
+}
+
+#[test]
+fn papyruskv_and_mdhim_agree_on_data() {
+    // Same mixed workload through both stores: identical results.
+    let profile = SystemProfile::test_profile();
+    let storage = papyrus_nvm::StorageMap::new(&profile, 3, 1);
+    let platform = Platform::new(SystemProfile::test_profile(), 3);
+    World::run(WorldConfig::for_tests(3), move |rank| {
+        let ctx = Context::init(rank.clone(), platform.clone(), "nvm://agree").unwrap();
+        let db = ctx
+            .open("db", OpenFlags::create(), Options::small().with_consistency(Consistency::Sequential))
+            .unwrap();
+        let mut mdh = mdhim::Mdhim::init(
+            rank.clone(),
+            profile.clone(),
+            &storage,
+            "agree",
+            mdhim::MdhimConfig { memtable_capacity: 4 << 10, use_pfs: false },
+        );
+        let me = rank.rank();
+        for i in 0..60 {
+            let (k, v) = (scenario_key(me, i), scenario_value(me, i, b'a'));
+            db.put(&k, &v).unwrap();
+            mdh.put(&k, &v).unwrap();
+            if i % 5 == 0 {
+                db.delete(&k).unwrap();
+                mdh.delete(&k).unwrap();
+            }
+        }
+        rank.world().barrier();
+        for r in 0..rank.size() {
+            for i in 0..60 {
+                let k = scenario_key(r, i);
+                let pkv = db.get_opt(&k).unwrap();
+                let mdv = mdh.get(&k).unwrap();
+                assert_eq!(
+                    pkv.as_deref().map(<[u8]>::to_vec),
+                    mdv.as_deref().map(<[u8]>::to_vec),
+                    "stores disagree on {}",
+                    String::from_utf8_lossy(&k)
+                );
+            }
+        }
+        db.close().unwrap();
+        ctx.finalize().unwrap();
+        mdh.finalize().unwrap();
+    });
+}
+
+#[test]
+fn job_chain_zero_copy_then_checkpoint_then_restart() {
+    // The full §4 lifecycle across three simulated "applications".
+    let platform = Platform::new(SystemProfile::test_profile(), 3);
+    World::run(WorldConfig::for_tests(3), move |rank| {
+        let ctx = Context::init(rank.clone(), platform.clone(), "nvm://chain").unwrap();
+        let me = ctx.rank();
+
+        // App 1 writes and closes.
+        let db = ctx.open("chain", OpenFlags::create(), Options::small()).unwrap();
+        for i in 0..40 {
+            db.put(&scenario_key(me, i), &scenario_value(me, i, b'1')).unwrap();
+        }
+        db.close().unwrap();
+
+        // App 2 (same job) reopens zero-copy, updates, checkpoints.
+        let db = ctx.open("chain", OpenFlags::create(), Options::small()).unwrap();
+        for i in (0..40).step_by(2) {
+            db.put(&scenario_key(me, i), &scenario_value(me, i, b'2')).unwrap();
+        }
+        let ev = db.checkpoint("snap/chain").unwrap();
+        ev.wait();
+        db.destroy().unwrap();
+        ctx.barrier_all();
+        if me == 0 {
+            platform.storage.trim_nvm();
+        }
+        ctx.barrier_all();
+
+        // App 3 (new job) restarts from the snapshot.
+        let (db, ev) = ctx
+            .restart("snap/chain", "chain", OpenFlags::create(), Options::small(), false)
+            .unwrap();
+        ev.wait();
+        for r in 0..3 {
+            for i in 0..40 {
+                let want = scenario_value(r, i, if i % 2 == 0 { b'2' } else { b'1' });
+                assert_eq!(&db.get(&scenario_key(r, i)).unwrap()[..], &want[..]);
+            }
+        }
+        db.close().unwrap();
+        ctx.finalize().unwrap();
+    });
+}
+
+#[test]
+fn dsm_and_pkv_tables_hold_identical_content() {
+    use papyrus_dsm::GlobalHashTable;
+    use papyrus_simtime::{MemModel, NetModel};
+
+    let shared = GlobalHashTable::shared(2, 256, NetModel::free(), MemModel::free());
+    let platform = Platform::new(SystemProfile::test_profile(), 2);
+    World::run(WorldConfig::for_tests(2), move |rank| {
+        let ctx = Context::init(rank.clone(), platform.clone(), "nvm://dsmcmp").unwrap();
+        let db = ctx.open("db", OpenFlags::create(), Options::small()).unwrap();
+        let t = GlobalHashTable::attach(shared.clone(), rank.clone());
+        let me = rank.rank();
+        for i in 0..50 {
+            let (k, v) = (scenario_key(me, i), scenario_value(me, i, b'd'));
+            db.put(&k, &v).unwrap();
+            t.put(&k, &v);
+        }
+        db.barrier(BarrierLevel::MemTable).unwrap();
+        for r in 0..2 {
+            for i in 0..50 {
+                let k = scenario_key(r, i);
+                assert_eq!(db.get(&k).unwrap().to_vec(), t.get(&k).unwrap().to_vec());
+            }
+        }
+        db.close().unwrap();
+        ctx.finalize().unwrap();
+    });
+}

@@ -1,0 +1,26 @@
+# Convenience targets mirroring what CI runs.
+
+.PHONY: build test fmt clippy verify trace clean
+
+build:
+	cargo build --release --workspace
+
+test:
+	cargo test -q --release --workspace
+
+fmt:
+	cargo fmt --all --check
+
+clippy:
+	cargo clippy --workspace --all-targets
+
+# The tier-1 gate: everything CI requires to pass, in one command.
+verify: build test fmt
+	@echo "verify: OK"
+
+# Quick observability smoke: writes trace.json (chrome://tracing / Perfetto).
+trace:
+	cargo run --release -p papyrus-bench --bin diag_latency -- --ranks 4 --telemetry trace.json
+
+clean:
+	cargo clean

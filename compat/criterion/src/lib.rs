@@ -1,0 +1,274 @@
+//! Offline stand-in for the `criterion` crate (no crates.io access in the
+//! build container). Keeps the same macro/API surface the workspace benches
+//! use (`criterion_group!`/`criterion_main!`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `Bencher::iter`, `black_box`) but
+//! replaces the statistical machinery with a plain wall-clock loop: warm-up,
+//! then timed batches, reporting mean ns/iter and total iterations.
+//!
+//! No plots, no outlier analysis, no saved baselines — just numbers on
+//! stdout, which is all `cargo bench` needs to stay runnable offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — prevents the optimizer from deleting the
+/// computation that produced `x`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark driver. Builder methods mirror real criterion but only
+/// `sample_size`, `measurement_time`, and `warm_up_time` affect the loop.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time budget for the timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up duration before timing starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_bench(self, id, &mut f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+}
+
+/// A named benchmark group (`group/bench` ids on output).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(self.criterion, &full, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmark without an input parameter.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(self.criterion, &full, &mut f);
+        self
+    }
+
+    /// Finish the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and a parameter.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` id.
+    pub fn new<P: fmt::Display>(function: &str, parameter: P) -> Self {
+        Self { function: function.to_string(), parameter: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it `self.iters` times back to back.
+    pub fn iter<T, R: FnMut() -> T>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench(cfg: &Criterion, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    // Warm-up: run single iterations until the warm-up budget is spent,
+    // measuring a rough per-iteration cost to size the timed batches.
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    let mut per_iter = Duration::from_nanos(1);
+    while warm_start.elapsed() < cfg.warm_up_time || warm_iters == 0 {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        warm_iters += 1;
+        if b.elapsed > Duration::ZERO {
+            per_iter = b.elapsed;
+        }
+        if warm_iters >= 1_000_000 {
+            break;
+        }
+    }
+
+    // Size each sample so `sample_size` samples roughly fill the
+    // measurement budget.
+    let budget_per_sample = cfg.measurement_time / cfg.sample_size as u32;
+    let iters_per_sample =
+        (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000_000) as u64;
+
+    let mut total_iters = 0u64;
+    let mut total_time = Duration::ZERO;
+    let mut best = Duration::MAX;
+    let bench_start = Instant::now();
+    for _ in 0..cfg.sample_size {
+        let mut b = Bencher { iters: iters_per_sample, elapsed: Duration::ZERO };
+        f(&mut b);
+        total_iters += iters_per_sample;
+        total_time += b.elapsed;
+        let sample_per_iter = b.elapsed / iters_per_sample as u32;
+        if sample_per_iter < best {
+            best = sample_per_iter;
+        }
+        // Never exceed 3x the budget even if per_iter was underestimated.
+        if bench_start.elapsed() > cfg.measurement_time * 3 {
+            break;
+        }
+    }
+
+    let mean_ns = total_time.as_nanos() as f64 / total_iters.max(1) as f64;
+    println!(
+        "bench: {id:<48} {:>14} ns/iter (best {:>12} ns, {} iters)",
+        format_ns(mean_ns),
+        format_ns(best.as_nanos() as f64),
+        total_iters
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}us", ns / 1e3)
+    } else {
+        format!("{ns:.1}ns")
+    }
+}
+
+/// Define a benchmark group with optional config, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = tiny_config();
+        let mut ran = 0u64;
+        c.bench_function("smoke/add", |b| {
+            b.iter(|| black_box(1u64) + black_box(2u64));
+            ran += 1;
+        });
+        assert!(ran >= 3, "closure invoked for warmup + samples, got {ran}");
+    }
+
+    #[test]
+    fn group_and_id_format() {
+        let id = BenchmarkId::new("insert", 128);
+        assert_eq!(id.to_string(), "insert/128");
+        let mut c = tiny_config();
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("x", 1), &41, |b, &n| {
+            b.iter(|| black_box(n) + 1);
+        });
+        group.finish();
+    }
+
+    criterion_group! {
+        name = test_benches;
+        config = Criterion::default().sample_size(2).measurement_time(Duration::from_millis(10)).warm_up_time(Duration::from_millis(2));
+        targets = noop_target
+    }
+
+    fn noop_target(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(0)));
+    }
+
+    #[test]
+    fn macro_generated_group_runs() {
+        test_benches();
+    }
+}

@@ -1,0 +1,61 @@
+//! Offline stand-in for the `crossbeam` crate (no crates.io access in the
+//! build container). Provides only `utils::CachePadded`, the single item the
+//! workspace uses (in the lock-free flushing/migration queue).
+
+/// Utilities for concurrent programming.
+pub mod utils {
+    use std::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to 128 bytes so adjacent hot atomics land on
+    /// different cache lines (avoids false sharing between the producer and
+    /// consumer cursors of the MPMC ring).
+    #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Pad `value`.
+        pub const fn new(value: T) -> Self {
+            Self { value }
+        }
+
+        /// Unwrap the padded value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> Self {
+            Self::new(value)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn aligned_to_128() {
+            assert_eq!(std::mem::align_of::<CachePadded<u64>>(), 128);
+            let p = CachePadded::new(5u64);
+            assert_eq!(*p, 5);
+            assert_eq!(p.into_inner(), 5);
+        }
+    }
+}

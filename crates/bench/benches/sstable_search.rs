@@ -11,10 +11,7 @@ fn build_table(n: usize) -> sstable::SstReader {
     let store = NvmStore::in_memory(DeviceModel::dram());
     let entries: Vec<(Vec<u8>, Entry)> = (0..n)
         .map(|i| {
-            (
-                format!("key{i:08}").into_bytes(),
-                Entry::value(bytes::Bytes::from(vec![b'v'; 64])),
-            )
+            (format!("key{i:08}").into_bytes(), Entry::value(bytes::Bytes::from(vec![b'v'; 64])))
         })
         .collect();
     let (reader, _) = sstable::build_at(&store, "bench/sst", 1, &entries, 0);
@@ -40,10 +37,7 @@ fn bench_sst_build(c: &mut Criterion) {
     let store = NvmStore::in_memory(DeviceModel::dram());
     let entries: Vec<(Vec<u8>, Entry)> = (0..10_000)
         .map(|i| {
-            (
-                format!("key{i:08}").into_bytes(),
-                Entry::value(bytes::Bytes::from(vec![b'v'; 128])),
-            )
+            (format!("key{i:08}").into_bytes(), Entry::value(bytes::Bytes::from(vec![b'v'; 128])))
         })
         .collect();
     c.bench_function("sstable/build-10k", |b| {

@@ -17,7 +17,13 @@ struct AblationOut {
     hit_ratio: f64,
 }
 
-fn run(profile: &SystemProfile, ranks: usize, iters: usize, opt: Options, seed: u64) -> AblationOut {
+fn run(
+    profile: &SystemProfile,
+    ranks: usize,
+    iters: usize,
+    opt: Options,
+    seed: u64,
+) -> AblationOut {
     let platform = Platform::new(profile.clone(), ranks);
     let per_rank = World::run(WorldConfig::new(ranks, profile.net.clone()), move |rank| {
         let ctx = Context::init(rank.clone(), platform.clone(), "nvm://ablate").unwrap();
@@ -48,7 +54,11 @@ fn run(profile: &SystemProfile, ranks: usize, iters: usize, opt: Options, seed: 
         db.close().unwrap();
         ctx.finalize().unwrap();
         (
-            RankPhase { ops: 3 * iters as u64, bytes: (3 * iters * (16 + (32 << 10))) as u64, ns: t1 - t0 },
+            RankPhase {
+                ops: 3 * iters as u64,
+                bytes: (3 * iters * (16 + (32 << 10))) as u64,
+                ns: t1 - t0,
+            },
             ssts,
             if h + m == 0 { 0.0 } else { h as f64 / (h + m) as f64 },
         )

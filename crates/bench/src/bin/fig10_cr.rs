@@ -19,7 +19,13 @@ struct CrResult {
     bytes: u64,
 }
 
-fn run_config(profile: &SystemProfile, ranks: usize, iters: usize, vallen: usize, seed: u64) -> CrResult {
+fn run_config(
+    profile: &SystemProfile,
+    ranks: usize,
+    iters: usize,
+    vallen: usize,
+    seed: u64,
+) -> CrResult {
     let platform = Platform::new(profile.clone(), ranks);
     let results = World::run(WorldConfig::new(ranks, profile.net.clone()), move |rank| {
         let ctx = Context::init(rank.clone(), platform.clone(), "nvm://cr").unwrap();
@@ -45,9 +51,8 @@ fn run_config(profile: &SystemProfile, ranks: usize, iters: usize, vallen: usize
 
         // Application 2: restart (same rank count, verbatim copy-back).
         let t1 = ctx.now();
-        let (db2, ev2) = ctx
-            .restart("lustre-snap", "cr", OpenFlags::create(), opt.clone(), false)
-            .unwrap();
+        let (db2, ev2) =
+            ctx.restart("lustre-snap", "cr", OpenFlags::create(), opt.clone(), false).unwrap();
         let restart_done = ev2.wait();
         let restart_ns = restart_done.saturating_sub(t1);
         db2.destroy().unwrap();
@@ -59,9 +64,8 @@ fn run_config(profile: &SystemProfile, ranks: usize, iters: usize, vallen: usize
 
         // Application 3: restart with forced redistribution.
         let t2 = ctx.now();
-        let (db3, ev3) = ctx
-            .restart("lustre-snap", "cr", OpenFlags::create(), opt.clone(), true)
-            .unwrap();
+        let (db3, ev3) =
+            ctx.restart("lustre-snap", "cr", OpenFlags::create(), opt.clone(), true).unwrap();
         let rd_done = ev3.wait();
         let rd_ns = rd_done.saturating_sub(t2);
         db3.close().unwrap();

@@ -10,8 +10,8 @@
 //! for 128 KB values NVMe beats Lustre for both systems, and PKV's storage
 //! groups widen its lead.
 
-use papyrus_bench::{print_header, random_keys, value_of, BenchArgs, PhaseResult, RankPhase};
 use mdhim::{Mdhim, MdhimConfig};
+use papyrus_bench::{print_header, random_keys, value_of, BenchArgs, PhaseResult, RankPhase};
 use papyrus_mpi::{World, WorldConfig};
 use papyrus_nvm::SystemProfile;
 use papyruskv::{Consistency, Context, OpenFlags, Options, Platform};
@@ -111,7 +111,8 @@ fn main() {
 
     let profile = SystemProfile::summitdev();
     let rpn = profile.ranks_per_node;
-    let sweep = args.ranks_or(&[1, 2, 4, 8, 16], &[1, 2, 4, 8, 16, rpn, rpn * 2, rpn * 4, rpn * 8, rpn * 16]);
+    let sweep = args
+        .ranks_or(&[1, 2, 4, 8, 16], &[1, 2, 4, 8, 16, rpn, rpn * 2, rpn * 4, rpn * 8, rpn * 16]);
     for vallen in [8usize, 128 << 10] {
         let iters = args.iters_or(16, 10_000.min(if vallen == 8 { 10_000 } else { 1_000 }));
         println!("\n## summitdev, {}B values ({} iters/rank, update/read 50/50)", vallen, iters);

@@ -29,7 +29,12 @@ struct RunOut {
     contigs: Vec<Vec<u8>>,
 }
 
-fn run_pkv(profile: &SystemProfile, threads: usize, dataset: Arc<Vec<meraculous::UfxRecord>>, k: usize) -> RunOut {
+fn run_pkv(
+    profile: &SystemProfile,
+    threads: usize,
+    dataset: Arc<Vec<meraculous::UfxRecord>>,
+    k: usize,
+) -> RunOut {
     let platform = Platform::new(profile.clone(), threads);
     let per_rank = World::run(WorldConfig::new(threads, profile.net.clone()), move |rank| {
         let ctx = Context::init(rank.clone(), platform.clone(), "nvm://meraculous").unwrap();
@@ -52,11 +57,17 @@ fn run_pkv(profile: &SystemProfile, threads: usize, dataset: Arc<Vec<meraculous:
     }
 }
 
-fn run_upc(profile: &SystemProfile, threads: usize, dataset: Arc<Vec<meraculous::UfxRecord>>, k: usize) -> RunOut {
+fn run_upc(
+    profile: &SystemProfile,
+    threads: usize,
+    dataset: Arc<Vec<meraculous::UfxRecord>>,
+    k: usize,
+) -> RunOut {
     let shared =
         GlobalHashTable::shared(threads, 1 << 16, profile.net.clone(), profile.mem.clone());
     let per_rank = World::run(WorldConfig::new(threads, profile.net.clone()), move |rank| {
-        let backend = DsmBackend::new(GlobalHashTable::attach(shared.clone(), rank.clone()), rank.clone());
+        let backend =
+            DsmBackend::new(GlobalHashTable::attach(shared.clone(), rank.clone()), rank.clone());
         let t0 = rank.now();
         construct(&backend, &dataset, rank.rank(), rank.size());
         let contigs = traverse(&backend, &dataset, rank.rank(), k, dataset.len() + 10);

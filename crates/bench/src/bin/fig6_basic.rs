@@ -8,9 +8,9 @@
 //!
 //! Also prints Table 2 (the target-system summary) with `--systems`.
 
-
-
-use papyrus_bench::{print_header, random_keys, size_label, value_of, BenchArgs, PhaseResult, RankPhase};
+use papyrus_bench::{
+    print_header, random_keys, size_label, value_of, BenchArgs, PhaseResult, RankPhase,
+};
 use papyrus_mpi::{World, WorldConfig};
 use papyrus_nvm::SystemProfile;
 use papyruskv::{BarrierLevel, Context, OpenFlags, Options, Platform};
@@ -78,11 +78,7 @@ fn run_config(
     let put: Vec<RankPhase> = per_rank.iter().map(|r| r.0).collect();
     let bar: Vec<RankPhase> = per_rank.iter().map(|r| r.1).collect();
     let get: Vec<RankPhase> = per_rank.iter().map(|r| r.2).collect();
-    (
-        PhaseResult::aggregate(&put),
-        PhaseResult::aggregate(&bar),
-        PhaseResult::aggregate(&get),
-    )
+    (PhaseResult::aggregate(&put), PhaseResult::aggregate(&bar), PhaseResult::aggregate(&get))
 }
 
 fn main() {
@@ -92,10 +88,7 @@ fn main() {
         return;
     }
     let args = BenchArgs::parse();
-    print_header(
-        "Figure 6",
-        "basic operations performance in a single node (put / barrier / get)",
-    );
+    print_header("Figure 6", "basic operations performance in a single node (put / barrier / get)");
 
     // The paper sweeps 256B..1MB; default keeps a representative subset.
     let sizes: Vec<usize> = if args.full {
@@ -109,17 +102,16 @@ fn main() {
         let ranks = if args.full { profile.ranks_per_node } else { profile.ranks_per_node.min(16) };
         let iters = args.iters_or(24, profile.iters.min(1000));
         for (storage, repo) in [("nvm", "nvm://basic"), ("lustre", "pfs://basic")] {
-            println!(
-                "\n## {} / {} ({} ranks, {} iters/rank)",
-                profile.name, storage, ranks, iters
-            );
+            println!("\n## {} / {} ({} ranks, {} iters/rank)", profile.name, storage, ranks, iters);
             println!(
                 "{:>8} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
                 "value", "put-KRPS", "put-MBPS", "bar-MBPS", "get-KRPS", "get-MBPS", "bar-sec"
             );
             for &vallen in &sizes {
-                let (put, bar, get) =
-                    run_config(&profile, repo, ranks, iters, vallen, args.seed);
+                // With --telemetry, each begin resets the registry so the
+                // written trace covers the final configuration only.
+                args.telemetry_begin();
+                let (put, bar, get) = run_config(&profile, repo, ranks, iters, vallen, args.seed);
                 println!(
                     "{:>8} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>12.4}",
                     size_label(vallen),
@@ -133,4 +125,5 @@ fn main() {
             }
         }
     }
+    args.telemetry_end();
 }

@@ -24,9 +24,7 @@ fn run_config(
     let platform = Platform::new(profile.clone(), ranks);
     let per_rank = World::run(WorldConfig::new(ranks, profile.net.clone()), move |rank| {
         let ctx = Context::init(rank.clone(), platform.clone(), "nvm://basic").unwrap();
-        let opt = Options::default()
-            .with_memtable_capacity(64 << 20)
-            .with_consistency(mode);
+        let opt = Options::default().with_memtable_capacity(64 << 20).with_consistency(mode);
         let db = ctx.open("basic", OpenFlags::create(), opt).unwrap();
         let keys = random_keys(iters, 16, seed + rank.rank() as u64);
         let value = value_of(vallen, b'v');

@@ -26,12 +26,9 @@ fn run_config(
     let platform = Platform::new(profile.clone(), ranks);
     let sg_size = if sg { profile.default_group_size(ranks) } else { 1 };
     let per_rank = World::run(WorldConfig::new(ranks, profile.net.clone()), move |rank| {
-        let ctx =
-            Context::init_with_group(rank.clone(), platform.clone(), "nvm://basic", sg_size)
-                .unwrap();
-        let opt = Options::default()
-            .with_memtable_capacity(8 << 20)
-            .with_bin_search(bin_search);
+        let ctx = Context::init_with_group(rank.clone(), platform.clone(), "nvm://basic", sg_size)
+            .unwrap();
+        let opt = Options::default().with_memtable_capacity(8 << 20).with_bin_search(bin_search);
         let db = ctx.open("basic", OpenFlags::create(), opt).unwrap();
         let keys = random_keys(iters, 16, seed + rank.rank() as u64);
         let value = value_of(vallen, b'v');
@@ -46,11 +43,7 @@ fn run_config(
         let t1 = ctx.now();
         db.close().unwrap();
         ctx.finalize().unwrap();
-        RankPhase {
-            ops: iters as u64,
-            bytes: (iters * (16 + vallen)) as u64,
-            ns: t1 - t0,
-        }
+        RankPhase { ops: iters as u64, bytes: (iters * (16 + vallen)) as u64, ns: t1 - t0 }
     });
     PhaseResult::aggregate(&per_rank)
 }
@@ -62,7 +55,8 @@ fn main() {
     let vallen = 128 << 10;
     for profile in SystemProfile::all_eval_systems() {
         let rpn = profile.ranks_per_node;
-        let sweep = args.ranks_or(&[2, 4, 8, 16, 32], &[1, 2, 4, 8, rpn, rpn * 2, rpn * 4, rpn * 8]);
+        let sweep =
+            args.ranks_or(&[2, 4, 8, 16, 32], &[1, 2, 4, 8, rpn, rpn * 2, rpn * 4, rpn * 8]);
         let iters = args.iters_or(16, profile.iters.min(1000));
         println!("\n## {} ({} iters/rank, 16B keys, 128KB values)", profile.name, iters);
         println!(
@@ -73,6 +67,9 @@ fn main() {
             let d = run_config(&profile, n, iters, vallen, false, false, args.seed);
             let sg = run_config(&profile, n, iters, vallen, true, false, args.seed);
             let b = run_config(&profile, n, iters, vallen, false, true, args.seed);
+            // With --telemetry, each begin resets the registry so the trace
+            // covers the best (SG+B) configuration of the final sweep point.
+            args.telemetry_begin();
             let sgb = run_config(&profile, n, iters, vallen, true, true, args.seed);
             println!(
                 "{:>6} {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
@@ -84,4 +81,5 @@ fn main() {
             );
         }
     }
+    args.telemetry_end();
 }

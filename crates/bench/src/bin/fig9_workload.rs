@@ -78,10 +78,7 @@ fn main() {
         let sweep = args.ranks_or(&[1, 2, 4, 8, 16], &[1, 2, 4, 8, rpn, rpn * 2, rpn * 4, rpn * 8]);
         let iters = args.iters_or(16, profile.iters.min(1000));
         println!("\n## {} ({} iters/rank, 16B keys, 128KB values)", profile.name, iters);
-        println!(
-            "{:>6} {:>12} {:>12} {:>12} {:>12}",
-            "ranks", "50/50", "95/5", "100/0", "100/0+P"
-        );
+        println!("{:>6} {:>12} {:>12} {:>12} {:>12}", "ranks", "50/50", "95/5", "100/0", "100/0+P");
         for &n in &sweep {
             let m5050 = run_config(&profile, n, iters, vallen, 50, false, args.seed);
             let m955 = run_config(&profile, n, iters, vallen, 5, false, args.seed);

@@ -33,9 +33,7 @@ const ALPHANUM: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz01
 /// Deterministic in `seed` (each rank passes a distinct seed).
 pub fn random_keys(n: usize, len: usize, seed: u64) -> Vec<Vec<u8>> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n)
-        .map(|_| (0..len).map(|_| ALPHANUM[rng.gen_range(0..ALPHANUM.len())]).collect())
-        .collect()
+    (0..n).map(|_| (0..len).map(|_| ALPHANUM[rng.gen_range(0..ALPHANUM.len())]).collect()).collect()
 }
 
 /// Generate a value buffer of `len` bytes.
@@ -102,7 +100,8 @@ impl PhaseResult {
 }
 
 /// Parsed CLI arguments shared by the figure binaries: `--full`
-/// (paper-scale), `--iters N`, `--ranks a,b,c`, `--seed N`.
+/// (paper-scale), `--iters N`, `--ranks a,b,c`, `--seed N`,
+/// `--telemetry out.json` (Chrome trace + metrics table).
 #[derive(Debug, Clone)]
 pub struct BenchArgs {
     /// Paper-scale parameters requested.
@@ -113,6 +112,8 @@ pub struct BenchArgs {
     pub ranks: Option<Vec<usize>>,
     /// Workload seed.
     pub seed: u64,
+    /// Chrome-trace output path; `Some` turns telemetry recording on.
+    pub telemetry: Option<String>,
 }
 
 impl BenchArgs {
@@ -123,13 +124,16 @@ impl BenchArgs {
 
     /// Parse from an explicit iterator (tests).
     pub fn from_iter(args: impl IntoIterator<Item = String>) -> Self {
-        let mut out = Self { full: false, iters: None, ranks: None, seed: 0x5EED };
+        let mut out = Self { full: false, iters: None, ranks: None, seed: 0x5EED, telemetry: None };
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--full" => out.full = true,
                 "--iters" => {
                     out.iters = it.next().and_then(|v| v.parse().ok());
+                }
+                "--telemetry" => {
+                    out.telemetry = it.next();
                 }
                 "--ranks" => {
                     out.ranks = it
@@ -158,6 +162,31 @@ impl BenchArgs {
             Some(r) if !r.is_empty() => r.clone(),
             _ => if self.full { full_scale } else { default }.to_vec(),
         }
+    }
+
+    /// Start a telemetry capture window if `--telemetry` was given: zeroes
+    /// the global registry and turns recording on. Call before each sweep
+    /// point so the trace covers a single run (virtual clocks restart at 0
+    /// every `World::run`, so merging runs would overlay their timelines).
+    pub fn telemetry_begin(&self) {
+        if self.telemetry.is_some() {
+            papyrus_telemetry::reset();
+            papyrus_telemetry::enable();
+        }
+    }
+
+    /// Finish the capture: write the Chrome trace JSON (open in
+    /// chrome://tracing or Perfetto), print the per-rank metrics table,
+    /// and turn recording back off. No-op without `--telemetry`.
+    pub fn telemetry_end(&self) {
+        let Some(path) = &self.telemetry else { return };
+        let snap = papyrus_telemetry::snapshot();
+        papyrus_telemetry::disable();
+        match snap.write_chrome_trace(path) {
+            Ok(()) => eprintln!("# telemetry: chrome trace written to {path}"),
+            Err(e) => eprintln!("# telemetry: failed to write {path}: {e}"),
+        }
+        print!("{}", snap.to_table());
     }
 }
 

@@ -79,10 +79,8 @@ impl Bloom {
         if body.len() != nwords * 8 {
             return None;
         }
-        let bits = body
-            .chunks_exact(8)
-            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
-            .collect();
+        let bits =
+            body.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
         Some(Self { bits, m, k })
     }
 
@@ -113,9 +111,7 @@ mod tests {
         for i in 0..10_000 {
             b.insert(format!("in-{i}").as_bytes());
         }
-        let fp = (0..10_000)
-            .filter(|i| b.maybe_contains(format!("out-{i}").as_bytes()))
-            .count();
+        let fp = (0..10_000).filter(|i| b.maybe_contains(format!("out-{i}").as_bytes())).count();
         // 10 bits/key targets ~1%; allow generous slack.
         assert!(fp < 500, "false positive count {fp} too high");
     }

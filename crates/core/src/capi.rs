@@ -10,8 +10,8 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use papyrus_mpi::RankCtx;
+use parking_lot::Mutex;
 
 use crate::db::Db;
 use crate::error::Error;
@@ -97,11 +97,9 @@ impl PapyrusKv {
         repository: &str,
     ) -> Result<PapyrusKv, i32> {
         match Context::init(rank, platform, repository) {
-            Ok(ctx) => Ok(PapyrusKv {
-                ctx,
-                dbs: Mutex::new(Vec::new()),
-                events: Mutex::new(Vec::new()),
-            }),
+            Ok(ctx) => {
+                Ok(PapyrusKv { ctx, dbs: Mutex::new(Vec::new()), events: Mutex::new(Vec::new()) })
+            }
             Err(e) => Err(code_of(&e)),
         }
     }
@@ -122,7 +120,11 @@ impl PapyrusKv {
         &self.ctx
     }
 
-    fn with_db<T>(&self, db: papyruskv_db_t, f: impl FnOnce(&Db) -> Result<T, i32>) -> Result<T, i32> {
+    fn with_db<T>(
+        &self,
+        db: papyruskv_db_t,
+        f: impl FnOnce(&Db) -> Result<T, i32>,
+    ) -> Result<T, i32> {
         let guard = self.dbs.lock();
         match guard.get(db as usize).and_then(Option::as_ref) {
             Some(handle) => {
@@ -239,9 +241,7 @@ impl PapyrusKv {
 
     /// `papyruskv_fence(db)`.
     pub fn papyruskv_fence(&self, db: papyruskv_db_t) -> i32 {
-        self.with_db(db, |d| d.fence().map_err(|e| code_of(&e)))
-            .err()
-            .unwrap_or(PAPYRUSKV_SUCCESS)
+        self.with_db(db, |d| d.fence().map_err(|e| code_of(&e))).err().unwrap_or(PAPYRUSKV_SUCCESS)
     }
 
     /// `papyruskv_barrier(db, level)`. Collective.
@@ -393,7 +393,10 @@ mod tests {
             let pkv = PapyrusKv::papyruskv_init(rank, platform.clone(), "nvm://capi").unwrap();
 
             let mut db: papyruskv_db_t = -1;
-            assert_eq!(pkv.papyruskv_open("db", PAPYRUSKV_CREATE, None, &mut db), PAPYRUSKV_SUCCESS);
+            assert_eq!(
+                pkv.papyruskv_open("db", PAPYRUSKV_CREATE, None, &mut db),
+                PAPYRUSKV_SUCCESS
+            );
             assert!(db >= 0);
 
             let key = format!("k{me}");
@@ -464,7 +467,10 @@ mod tests {
             assert_eq!(pkv.papyruskv_fence(0), PAPYRUSKV_INVALID_DB);
             // Bad flag/mode words.
             let mut db: papyruskv_db_t = -1;
-            assert_eq!(pkv.papyruskv_open("db", PAPYRUSKV_CREATE, None, &mut db), PAPYRUSKV_SUCCESS);
+            assert_eq!(
+                pkv.papyruskv_open("db", PAPYRUSKV_CREATE, None, &mut db),
+                PAPYRUSKV_SUCCESS
+            );
             assert_eq!(pkv.papyruskv_barrier(db, 99), PAPYRUSKV_INVALID_ARGUMENT);
             assert_eq!(pkv.papyruskv_consistency(db, 99), PAPYRUSKV_INVALID_ARGUMENT);
             assert_eq!(pkv.papyruskv_protect(db, 99), PAPYRUSKV_INVALID_ARGUMENT);

@@ -25,7 +25,7 @@ use crate::db::{barrier_inner, Db, DbInner};
 use crate::error::{Error, Result};
 use crate::options::{BarrierLevel, OpenFlags, Options};
 use crate::runtime::{CompactJob, Context, CtxInner, Event};
-use crate::sstable::{SstReader, Ssid};
+use crate::sstable::{Ssid, SstReader};
 
 /// Write a rank manifest at `now`; returns the completion stamp.
 ///
@@ -125,19 +125,22 @@ pub(crate) fn run_checkpoint_transfer(
         ssids.push(reader.ssid());
         for ext in ["data", "index", "bloom"] {
             let src = format!("{}.{ext}", reader.base());
-            let dst = format!(
-                "{}/{}/r{me}/sst{:010}.{ext}",
-                dest,
-                db.name,
-                reader.ssid()
-            );
+            let dst = format!("{}/{}/r{me}/sst{:010}.{ext}", dest, db.name, reader.ssid());
             if let Some((bytes, read_done)) = src_store.read_all_at(&src, t) {
                 t = pfs.put_at(&dst, bytes, read_done);
             }
         }
     }
     ssids.sort_unstable();
-    t = write_manifest_at(pfs, dest, &db.name, me, db.next_ssid.load(std::sync::atomic::Ordering::SeqCst), &ssids, t);
+    t = write_manifest_at(
+        pfs,
+        dest,
+        &db.name,
+        me,
+        db.next_ssid.load(std::sync::atomic::Ordering::SeqCst),
+        &ssids,
+        t,
+    );
     if me == 0 {
         t = pfs.put_at(
             &meta_path(dest, &db.name),

@@ -11,8 +11,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use parking_lot::{Condvar, Mutex, RwLock};
 use papyrus_simtime::{Clock, OpStats, SimNs};
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::ckpt;
 use crate::error::{Error, Result};
@@ -22,7 +22,9 @@ use crate::memtable::{Entry, MemTable};
 use crate::msg::{self, tags, GetResp, KvRecord};
 use crate::options::{BarrierLevel, Consistency, OpenFlags, Options, Protection};
 use crate::runtime::{CompactJob, Context, CtxInner, Event, MigrateJob};
-use crate::sstable::{self, SstGet, SstReader, Ssid};
+use crate::sstable::{self, Ssid, SstGet, SstReader};
+use crate::tel::CoreTel;
+use papyrus_telemetry::{TID_APP, TID_COMPACT, TID_DISPATCH, TID_HANDLER};
 
 macro_rules! pkv_trace {
     ($($arg:tt)*) => {
@@ -90,6 +92,9 @@ pub struct DbInner {
     /// Operation statistics.
     pub(crate) put_stats: OpStats,
     pub(crate) get_stats: OpStats,
+
+    /// Telemetry handles (interned per rank; near-zero cost when disabled).
+    pub(crate) tel: CoreTel,
 }
 
 /// Search result inside one storage level.
@@ -155,7 +160,10 @@ impl DbInner {
         let db = Arc::new(DbInner {
             id,
             name: name.to_string(),
-            state: RwLock::new(DbState { consistency: opt.consistency, protection: opt.protection }),
+            state: RwLock::new(DbState {
+                consistency: opt.consistency,
+                protection: opt.protection,
+            }),
             dist,
             local: RwLock::new(MemTable::new()),
             imm_local: RwLock::new(Vec::new()),
@@ -179,6 +187,7 @@ impl DbInner {
             peer_readers: Mutex::new(HashMap::new()),
             put_stats: OpStats::new(),
             get_stats: OpStats::new(),
+            tel: CoreTel::new(me),
             opt,
         });
         Ok(db)
@@ -230,6 +239,9 @@ fn insert_local_entry(ctx: &CtxInner, db: &Arc<DbInner>, key: &[u8], entry: Entr
 fn freeze_local(ctx: &CtxInner, db: &Arc<DbInner>, stamp: SimNs) {
     {
         let mut sync = db.sync.lock();
+        if sync.pending_flushes >= db.opt.flush_queue_len {
+            db.tel.freeze_stall.inc();
+        }
         while sync.pending_flushes >= db.opt.flush_queue_len {
             db.sync_cv.wait(&mut sync);
         }
@@ -247,6 +259,8 @@ fn freeze_local(ctx: &CtxInner, db: &Arc<DbInner>, stamp: SimNs) {
         db.imm_local.write().push(frozen.clone());
         frozen
     };
+    db.tel.freeze_local.inc();
+    db.tel.rec.instant("core", "freeze.local", TID_APP, stamp);
     ctx.compact_q.push(CompactJob::Flush { db: db.clone(), mt: frozen, stamp });
 }
 
@@ -254,6 +268,9 @@ fn freeze_local(ctx: &CtxInner, db: &Arc<DbInner>, stamp: SimNs) {
 fn freeze_remote(ctx: &CtxInner, db: &Arc<DbInner>, stamp: SimNs) {
     {
         let mut sync = db.sync.lock();
+        if sync.migration_inflight >= db.opt.flush_queue_len {
+            db.tel.freeze_stall.inc();
+        }
         while sync.migration_inflight >= db.opt.flush_queue_len {
             db.sync_cv.wait(&mut sync);
         }
@@ -271,6 +288,8 @@ fn freeze_remote(ctx: &CtxInner, db: &Arc<DbInner>, stamp: SimNs) {
         db.imm_remote.write().push(frozen.clone());
         frozen
     };
+    db.tel.freeze_remote.inc();
+    db.tel.rec.instant("core", "freeze.remote", TID_APP, stamp);
     ctx.migrate_q.push(MigrateJob::Migrate { db: db.clone(), mt: frozen, stamp });
 }
 
@@ -280,8 +299,7 @@ fn freeze_remote(ctx: &CtxInner, db: &Arc<DbInner>, stamp: SimNs) {
 pub(crate) fn run_flush(ctx: &CtxInner, db: &Arc<DbInner>, mt: Arc<MemTable>, stamp: SimNs) {
     let store = ctx.repo_store();
     let me = ctx.rank.rank();
-    let entries: Vec<(Vec<u8>, Entry)> =
-        mt.iter().map(|(k, e)| (k.to_vec(), e.clone())).collect();
+    let entries: Vec<(Vec<u8>, Entry)> = mt.iter().map(|(k, e)| (k.to_vec(), e.clone())).collect();
 
     let ssid = db.next_ssid.fetch_add(1, Ordering::SeqCst);
     let base = sstable::sst_base(&ctx.repo.prefix, &db.name, me, ssid);
@@ -302,6 +320,9 @@ pub(crate) fn run_flush(ctx: &CtxInner, db: &Arc<DbInner>, mt: Arc<MemTable>, st
         done,
     );
     db.flush_backlog.merge(done);
+    db.tel.flush_count.inc();
+    db.tel.flush_ns.record(done.saturating_sub(stamp));
+    db.tel.rec.span("core", "flush", TID_COMPACT, stamp, done);
 
     // Merge compaction "whenever the SSID of a new SSTable is a multiple of
     // the predefined number" (§2.5).
@@ -351,6 +372,9 @@ fn run_merge_compaction(ctx: &CtxInner, db: &Arc<DbInner>, stamp: SimNs) {
         t,
     );
     db.flush_backlog.merge(t);
+    db.tel.compact_count.inc();
+    db.tel.compact_ns.record(t.saturating_sub(stamp));
+    db.tel.rec.span("core", "compact", TID_COMPACT, stamp, t);
 }
 
 /// Dispatcher-thread body for one migration job: sort the frozen remote
@@ -367,17 +391,18 @@ pub(crate) fn run_migration(ctx: &CtxInner, db: &Arc<DbInner>, mt: Arc<MemTable>
     }
     let mut owners: Vec<usize> = per_owner.keys().copied().collect();
     owners.sort_unstable();
+    let mut last_arrive = stamp;
     for owner in owners {
         let records = &per_owner[&owner];
-        pkv_trace!(
-            "[r{}] migrate {} records -> r{owner}",
-            ctx.rank.rank(),
-            records.len()
-        );
+        pkv_trace!("[r{}] migrate {} records -> r{owner}", ctx.rank.rank(), records.len());
         let payload = msg::encode_migrate(db.id, records);
         let arrive = ctx.comm_req.send_at(owner, tags::MIGRATE, payload, stamp);
+        last_arrive = last_arrive.max(arrive);
         db.migrate_backlog.merge(arrive);
     }
+    db.tel.migrate_count.inc();
+    db.tel.migrate_ns.record(last_arrive.saturating_sub(stamp));
+    db.tel.rec.span("core", "migrate", TID_DISPATCH, stamp, last_arrive);
     db.imm_remote.write().retain(|m| !Arc::ptr_eq(m, &mt));
     let mut sync = db.sync.lock();
     sync.migration_inflight -= 1;
@@ -394,16 +419,14 @@ pub(crate) fn apply_incoming_records(
 ) -> SimNs {
     let clk = Clock::starting_at(stamp);
     for r in records {
-        pkv_trace!(
-            "[r{}] ingest key={:?}",
-            ctx.rank.rank(),
-            String::from_utf8_lossy(&r.key)
-        );
+        pkv_trace!("[r{}] ingest key={:?}", ctx.rank.rank(), String::from_utf8_lossy(&r.key));
         let entry = if r.tombstone { Entry::tombstone() } else { Entry::value(r.value.clone()) };
         insert_local_entry(ctx, db, &r.key, entry, &clk);
     }
     let done = clk.now();
     db.ingest_backlog.merge(done);
+    db.tel.ingest_records.add(records.len() as u64);
+    db.tel.rec.span("core", "ingest", TID_HANDLER, stamp, done);
     done
 }
 
@@ -447,8 +470,12 @@ fn search_local_ssts(_ctx: &CtxInner, db: &DbInner, key: &[u8], clock: &Clock) -
     let cache_ok = db.opt.local_cache && prot != Protection::WriteOnly;
     let ssts = db.ssts.read();
     for reader in ssts.iter().rev() {
-        if db.opt.bloom_filter && !reader.maybe_contains(key) {
-            continue;
+        if db.opt.bloom_filter {
+            if !reader.maybe_contains(key) {
+                db.tel.bloom_neg.inc();
+                continue;
+            }
+            db.tel.bloom_pass.inc();
         }
         let (res, done) = reader.get_at(key, db.opt.bin_search, clock.now());
         clock.merge(done);
@@ -494,26 +521,38 @@ pub(crate) fn serve_remote_get(
     let shared = caller_group != msg::NO_GROUP
         && caller_group == ctx.group_of(me)
         && ctx.shares_storage(me, caller_rank);
-    if shared {
+    let resp = if shared {
         // Same storage group: "the message handler looks into the local
         // MemTable, immutable local MemTables, and local cache only" (§2.7).
         match search_local_memory(ctx, db, key, &clk) {
-            Lookup::Found(v) => (GetResp::Found(v), clk.now()),
-            Lookup::Tombstone => (GetResp::NotFound, clk.now()),
-            Lookup::Miss => (GetResp::SearchShared(db.live_ssids_desc()), clk.now()),
+            Lookup::Found(v) => GetResp::Found(v),
+            Lookup::Tombstone => GetResp::NotFound,
+            Lookup::Miss => GetResp::SearchShared(db.live_ssids_desc()),
         }
     } else {
         match local_get(ctx, db, key, &clk) {
-            Lookup::Found(v) => (GetResp::Found(v), clk.now()),
-            _ => (GetResp::NotFound, clk.now()),
+            Lookup::Found(v) => GetResp::Found(v),
+            _ => GetResp::NotFound,
         }
+    };
+    let end = clk.now();
+    if db.tel.on() {
+        db.tel.serve_gets.inc();
+        db.tel.rec.span("core", "serve_get", TID_HANDLER, stamp, end);
     }
+    (resp, end)
 }
 
 /// Caller-side remote get: remote MemTable / migration queue / remote
 /// cache, then a request message, then (storage group) shared-SSTable
 /// search (§2.6-§2.7, Figure 3).
-fn remote_get(ctx: &CtxInner, db: &Arc<DbInner>, key: &[u8], owner: usize, clock: &Clock) -> Lookup {
+fn remote_get(
+    ctx: &CtxInner,
+    db: &Arc<DbInner>,
+    key: &[u8],
+    owner: usize,
+    clock: &Clock,
+) -> Lookup {
     let mem = &ctx.platform.profile.mem;
     let state = *db.state.read();
     if state.consistency == Consistency::Relaxed {
@@ -614,8 +653,12 @@ fn search_peer_ssts(
                 }
             }
         };
-        if db.opt.bloom_filter && !reader.maybe_contains(key) {
-            continue;
+        if db.opt.bloom_filter {
+            if !reader.maybe_contains(key) {
+                db.tel.bloom_neg.inc();
+                continue;
+            }
+            db.tel.bloom_pass.inc();
         }
         let (res, done) = reader.get_at(key, db.opt.bin_search, clock.now());
         clock.merge(done);
@@ -640,6 +683,7 @@ pub(crate) fn note_barrier_mark(db: &Arc<DbInner>, epoch: u64, stamp: SimNs) {
     slot.0 += 1;
     pkv_trace!("[db {}] mark epoch={epoch} count={}", db.id, slot.0);
     slot.1 = slot.1.max(stamp);
+    db.tel.rec.instant("core", "barrier.mark", TID_HANDLER, stamp);
     db.sync_cv.notify_all();
 }
 
@@ -659,8 +703,9 @@ pub(crate) fn close_inner(ctx: &Arc<CtxInner>, db: &Arc<DbInner>) -> Result<()> 
 /// queue has drained.
 pub(crate) fn fence_inner(ctx: &CtxInner, db: &Arc<DbInner>) -> Result<()> {
     let clock = ctx.clock();
+    let start = clock.now();
     pkv_trace!("[r{}] fence start", ctx.rank.rank());
-    freeze_remote(ctx, db, clock.now());
+    freeze_remote(ctx, db, start);
     {
         let mut sync = db.sync.lock();
         while sync.migration_inflight > 0 {
@@ -668,6 +713,11 @@ pub(crate) fn fence_inner(ctx: &CtxInner, db: &Arc<DbInner>) -> Result<()> {
         }
     }
     clock.merge(db.migrate_backlog.now());
+    if db.tel.on() {
+        let end = clock.now();
+        db.tel.fence_wait_ns.record(end.saturating_sub(start));
+        db.tel.rec.span("core", "fence.wait", TID_APP, start, end);
+    }
     pkv_trace!("[r{}] fence done", ctx.rank.rank());
     Ok(())
 }
@@ -676,6 +726,7 @@ pub(crate) fn fence_inner(ctx: &CtxInner, db: &Arc<DbInner>) -> Result<()> {
 /// `BarrierLevel::SsTable` the whole database is flushed to SSTables.
 pub(crate) fn barrier_inner(ctx: &CtxInner, db: &Arc<DbInner>, level: BarrierLevel) -> Result<()> {
     let clock = ctx.clock();
+    let barrier_start = clock.now();
     fence_inner(ctx, db)?;
 
     // FIFO barrier marks: per-sender channel ordering guarantees every data
@@ -712,6 +763,11 @@ pub(crate) fn barrier_inner(ctx: &CtxInner, db: &Arc<DbInner>, level: BarrierLev
     }
 
     ctx.comm_ctl.barrier();
+    if db.tel.on() {
+        let end = clock.now();
+        db.tel.barrier_wait_ns.record(end.saturating_sub(barrier_start));
+        db.tel.rec.span("core", "barrier.wait", TID_APP, barrier_start, end);
+    }
     Ok(())
 }
 
@@ -780,6 +836,7 @@ impl Db {
         let db = &self.inner;
         let clock = ctx.clock();
         db.put_stats.record((key.len() + value.len()) as u64);
+        let start = clock.now();
 
         let owner = db.dist.owner(key);
         let me = ctx.rank.rank();
@@ -787,6 +844,10 @@ impl Db {
             pkv_trace!("[r{me}] put local key={:?}", String::from_utf8_lossy(key));
             let entry = if tombstone { Entry::tombstone() } else { Entry::value(value) };
             insert_local_entry(ctx, db, key, entry, clock);
+            if db.tel.on() {
+                db.tel.put_local.inc();
+                db.tel.put_ns.record(clock.now().saturating_sub(start));
+            }
             return Ok(());
         }
         match state.consistency {
@@ -796,7 +857,10 @@ impl Db {
                 if db.opt.remote_cache {
                     db.remote_cache.lock().invalidate(key);
                 }
-                pkv_trace!("[r{me}] put remote key={:?} owner={owner}", String::from_utf8_lossy(key));
+                pkv_trace!(
+                    "[r{me}] put remote key={:?} owner={owner}",
+                    String::from_utf8_lossy(key)
+                );
                 let over = {
                     let mut remote = db.remote.lock();
                     remote.insert(key, Entry::remote(value, tombstone, owner as u32));
@@ -805,6 +869,10 @@ impl Db {
                 if over {
                     freeze_remote(ctx, db, clock.now());
                 }
+                if db.tel.on() {
+                    db.tel.put_remote.inc();
+                    db.tel.put_ns.record(clock.now().saturating_sub(start));
+                }
                 Ok(())
             }
             Consistency::Sequential => {
@@ -812,8 +880,14 @@ impl Db {
                 // without staging in the remote MemTable" (§3.1).
                 let rec = KvRecord { key: key.to_vec(), value, tombstone };
                 ctx.comm_req.send(owner, tags::PUT_SYNC, msg::encode_put_sync(db.id, &rec));
-                ctx.comm_rep
-                    .recv(papyrus_mpi::RecvSrc::Rank(owner), papyrus_mpi::RecvTag::Tag(tags::PUT_ACK));
+                ctx.comm_rep.recv(
+                    papyrus_mpi::RecvSrc::Rank(owner),
+                    papyrus_mpi::RecvTag::Tag(tags::PUT_ACK),
+                );
+                if db.tel.on() {
+                    db.tel.put_sync.inc();
+                    db.tel.put_ns.record(clock.now().saturating_sub(start));
+                }
                 Ok(())
             }
         }
@@ -831,12 +905,23 @@ impl Db {
         let db = &self.inner;
         let clock = ctx.clock();
         db.get_stats.record(key.len() as u64);
+        let start = clock.now();
         let owner = db.dist.owner(key);
         let me = ctx.rank.rank();
         let res = if owner == me {
-            local_get(ctx, db, key, clock)
+            let res = local_get(ctx, db, key, clock);
+            if db.tel.on() {
+                db.tel.get_local.inc();
+                db.tel.get_local_ns.record(clock.now().saturating_sub(start));
+            }
+            res
         } else {
-            remote_get(ctx, db, key, owner, clock)
+            let res = remote_get(ctx, db, key, owner, clock);
+            if db.tel.on() {
+                db.tel.get_remote.inc();
+                db.tel.get_remote_ns.record(clock.now().saturating_sub(start));
+            }
+            res
         };
         match res {
             Lookup::Found(v) => Ok(v),

@@ -76,6 +76,7 @@ pub mod queue;
 pub mod rbtree;
 mod runtime;
 pub mod sstable;
+mod tel;
 
 pub use db::Db;
 pub use error::{Error, Result};

@@ -174,8 +174,7 @@ impl LruCache {
             self.push_front(i);
         } else {
             let i = if let Some(i) = self.free.pop() {
-                self.slots[i as usize] =
-                    Slot { key: key.to_vec(), entry, prev: NONE, next: NONE };
+                self.slots[i as usize] = Slot { key: key.to_vec(), entry, prev: NONE, next: NONE };
                 i
             } else {
                 self.slots.push(Slot { key: key.to_vec(), entry, prev: NONE, next: NONE });

@@ -216,7 +216,11 @@ mod tests {
     use super::*;
 
     fn rec(k: &str, v: &str, t: bool) -> KvRecord {
-        KvRecord { key: k.as_bytes().to_vec(), value: Bytes::copy_from_slice(v.as_bytes()), tombstone: t }
+        KvRecord {
+            key: k.as_bytes().to_vec(),
+            value: Bytes::copy_from_slice(v.as_bytes()),
+            tombstone: t,
+        }
     }
 
     #[test]

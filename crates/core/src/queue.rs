@@ -48,7 +48,10 @@ impl<T> BoundedQueue<T> {
     pub fn new(capacity: usize) -> Self {
         let cap = capacity.max(2).next_power_of_two();
         let slots = (0..cap)
-            .map(|i| Slot { seq: AtomicUsize::new(i), value: UnsafeCell::new(MaybeUninit::uninit()) })
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
             .collect::<Vec<_>>()
             .into_boxed_slice();
         Self {
@@ -153,7 +156,11 @@ pub struct BlockingQueue<T> {
 impl<T> BlockingQueue<T> {
     /// Blocking queue with the given capacity.
     pub fn new(capacity: usize) -> Arc<Self> {
-        Arc::new(Self { queue: BoundedQueue::new(capacity), gate: Mutex::new(()), cv: Condvar::new() })
+        Arc::new(Self {
+            queue: BoundedQueue::new(capacity),
+            gate: Mutex::new(()),
+            cv: Condvar::new(),
+        })
     }
 
     /// Enqueue, blocking while the queue is full.

@@ -42,7 +42,8 @@ impl<V> RbTree<V> {
     /// Empty tree.
     pub fn new() -> Self {
         // Slot 0 is the shared NIL sentinel: black, self-linked.
-        let nil = Node { key: Vec::new(), val: None, left: NIL, right: NIL, parent: NIL, red: false };
+        let nil =
+            Node { key: Vec::new(), val: None, left: NIL, right: NIL, parent: NIL, red: false };
         Self { nodes: vec![nil], free: Vec::new(), root: NIL, len: 0 }
     }
 
@@ -381,7 +382,8 @@ impl<V> RbTree<V> {
 
     /// Drop all entries.
     pub fn clear(&mut self) {
-        let nil = Node { key: Vec::new(), val: None, left: NIL, right: NIL, parent: NIL, red: false };
+        let nil =
+            Node { key: Vec::new(), val: None, left: NIL, right: NIL, parent: NIL, red: false };
         self.nodes = vec![nil];
         self.free.clear();
         self.root = NIL;
@@ -412,12 +414,7 @@ impl<V> RbTree<V> {
             return 0;
         }
         assert!(!self.n(self.root).red, "root must be black");
-        fn walk<V>(
-            t: &RbTree<V>,
-            x: u32,
-            lo: Option<&[u8]>,
-            hi: Option<&[u8]>,
-        ) -> usize {
+        fn walk<V>(t: &RbTree<V>, x: u32, lo: Option<&[u8]>, hi: Option<&[u8]>) -> usize {
             if x == NIL {
                 return 1;
             }

@@ -20,10 +20,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use parking_lot::{Condvar, Mutex};
 use papyrus_mpi::{Communicator, RankCtx, RecvSrc, RecvTag};
 use papyrus_nvm::{NvmStore, StorageMap, SystemProfile};
 use papyrus_simtime::{Clock, SimNs};
+use parking_lot::{Condvar, Mutex};
 
 use crate::db::{Db, DbInner};
 use crate::error::{Error, Result};
@@ -68,8 +68,7 @@ impl Platform {
     /// (paper Figure 5(b)-(c)): the NVM scratch is fresh, the PFS persists.
     pub fn new_job(profile: SystemProfile, n_ranks: usize, pfs_of: &Arc<Platform>) -> Arc<Self> {
         let group = profile.default_group_size(n_ranks);
-        let storage =
-            StorageMap::with_pfs(&profile, n_ranks, group, pfs_of.storage.pfs().clone());
+        let storage = StorageMap::with_pfs(&profile, n_ranks, group, pfs_of.storage.pfs().clone());
         Arc::new(Self { profile, storage, n_ranks })
     }
 }
@@ -244,11 +243,7 @@ impl CtxInner {
     }
 
     pub fn db_by_id(&self, id: u32) -> Result<Arc<DbInner>> {
-        self.dbs
-            .lock()
-            .get(id as usize)
-            .cloned()
-            .ok_or(Error::InvalidDb)
+        self.dbs.lock().get(id as usize).cloned().ok_or(Error::InvalidDb)
     }
 
     pub fn clock(&self) -> &Clock {

@@ -21,8 +21,8 @@
 use std::collections::BTreeMap;
 
 use bytes::Bytes;
-use papyrus_simtime::{AccessPattern, SimNs};
 use papyrus_nvm::NvmStore;
+use papyrus_simtime::{AccessPattern, SimNs};
 
 use crate::bloom::Bloom;
 use crate::error::{Error, Result};
@@ -97,14 +97,8 @@ pub fn build_at(
     let t2 = store.put_at(&index_path, Bytes::from(index), t1);
     let done = store.put_at(&bloom_path, Bytes::from(bloom.to_bytes()), t2);
 
-    let reader = SstReader {
-        store: store.clone(),
-        base: base.to_string(),
-        ssid,
-        offsets,
-        bloom,
-        data_len,
-    };
+    let reader =
+        SstReader { store: store.clone(), base: base.to_string(), ssid, offsets, bloom, data_len };
     (reader, done)
 }
 
@@ -233,11 +227,7 @@ impl SstReader {
                 std::cmp::Ordering::Equal => {
                     let touched = RECORD_HEADER + k.len() as u64 + v.len() as u64;
                     t = self.charge_read(touched, AccessPattern::Random, t);
-                    return if tomb {
-                        (SstGet::Tombstone, t)
-                    } else {
-                        (SstGet::Found(v), t)
-                    };
+                    return if tomb { (SstGet::Tombstone, t) } else { (SstGet::Found(v), t) };
                 }
                 std::cmp::Ordering::Less => hi = mid,
                 std::cmp::Ordering::Greater => lo = mid + 1,
@@ -257,11 +247,7 @@ impl SstReader {
             match key.cmp(&k) {
                 std::cmp::Ordering::Equal => {
                     let t = self.charge_read(scanned, AccessPattern::Sequential, now);
-                    return if tomb {
-                        (SstGet::Tombstone, t)
-                    } else {
-                        (SstGet::Found(v), t)
-                    };
+                    return if tomb { (SstGet::Tombstone, t) } else { (SstGet::Found(v), t) };
                 }
                 // Records are sorted: once past the key, it's absent.
                 std::cmp::Ordering::Less => break,
@@ -287,10 +273,8 @@ impl SstReader {
         let mut out = Vec::with_capacity(self.offsets.len());
         let mut pos = 0usize;
         while pos + RECORD_HEADER as usize <= data.len() {
-            let keylen =
-                u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
-            let vallen =
-                u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap()) as usize;
+            let keylen = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+            let vallen = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap()) as usize;
             let tomb = data[pos + 8] != 0;
             pos += RECORD_HEADER as usize;
             if pos + keylen + vallen > data.len() {
@@ -389,8 +373,7 @@ mod tests {
         let s = store();
         let pairs: Vec<(String, String)> =
             (0..200).map(|i| (format!("key{i:04}"), format!("val{i}"))).collect();
-        let refs: Vec<(&str, &str)> =
-            pairs.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+        let refs: Vec<(&str, &str)> = pairs.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
         let (r, _) = build_at(&s, "b", 1, &entries(&refs), 0);
         for i in (0..200).step_by(17) {
             let k = format!("key{i:04}");
@@ -411,17 +394,13 @@ mod tests {
         let value = "x".repeat(200);
         let pairs: Vec<(String, String)> =
             (0..20_000).map(|i| (format!("key{i:06}"), value.clone())).collect();
-        let refs: Vec<(&str, &str)> =
-            pairs.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+        let refs: Vec<(&str, &str)> = pairs.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
         let (r, _) = build_at(&s, "b", 1, &entries(&refs), 0);
         s.queue().reset();
         let (_, t_bin) = r.get_at(b"key019999", true, 0);
         s.queue().reset();
         let (_, t_lin) = r.get_at(b"key019999", false, 0);
-        assert!(
-            t_bin < t_lin / 2,
-            "binary {t_bin} should beat linear {t_lin} on a deep key"
-        );
+        assert!(t_bin < t_lin / 2, "binary {t_bin} should beat linear {t_lin} on a deep key");
     }
 
     #[test]
@@ -477,7 +456,8 @@ mod tests {
     fn merge_newest_ssid_wins_and_drops_tombstones() {
         let s = store();
         // sst1: a=old, b=1, dead=x
-        let (t1, _) = build_at(&s, "r/sst1", 1, &entries(&[("a", "old"), ("b", "1"), ("dead", "x")]), 0);
+        let (t1, _) =
+            build_at(&s, "r/sst1", 1, &entries(&[("a", "old"), ("b", "1"), ("dead", "x")]), 0);
         // sst2: a=new, dead tombstoned
         let mut es2 = entries(&[("a", "new")]);
         es2.push((b"dead".to_vec(), Entry::tombstone()));

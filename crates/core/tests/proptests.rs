@@ -1,8 +1,6 @@
 //! Property-based tests for PapyrusKV's core data structures and formats.
 
 use bytes::Bytes;
-use proptest::collection::vec;
-use proptest::prelude::*;
 use papyruskv::bloom::Bloom;
 use papyruskv::lru::{CacheEntry, LruCache};
 use papyruskv::memtable::{Entry, MemTable};
@@ -10,6 +8,8 @@ use papyruskv::msg;
 use papyruskv::queue::BoundedQueue;
 use papyruskv::rbtree::RbTree;
 use papyruskv::sstable;
+use proptest::collection::vec;
+use proptest::prelude::*;
 
 fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
     vec(any::<u8>(), 1..24)

@@ -82,14 +82,9 @@ fn restart_with_corrupt_meta_errors_cleanly() {
     let platform = Platform::new(SystemProfile::test_profile(), 1);
     World::run(WorldConfig::for_tests(1), move |rank| {
         let ctx = Context::init(rank, platform.clone(), "nvm://badmeta").unwrap();
-        platform
-            .storage
-            .pfs()
-            .backend()
-            .put("snap/db/META", Bytes::from_static(b"not-a-number"));
-        let err = ctx
-            .restart("snap", "db", OpenFlags::create(), Options::small(), false)
-            .unwrap_err();
+        platform.storage.pfs().backend().put("snap/db/META", Bytes::from_static(b"not-a-number"));
+        let err =
+            ctx.restart("snap", "db", OpenFlags::create(), Options::small(), false).unwrap_err();
         assert!(matches!(err, Error::InvalidSnapshot(_)));
         ctx.finalize().unwrap();
     });
@@ -141,7 +136,11 @@ fn destroy_removes_everything_reopen_is_fresh() {
         let ev = db.destroy().unwrap();
         ev.wait();
         assert!(
-            platform.storage.nvm_of(ctx.rank()).list(&format!("destroy/db/r{}/", ctx.rank())).is_empty(),
+            platform
+                .storage
+                .nvm_of(ctx.rank())
+                .list(&format!("destroy/db/r{}/", ctx.rank()))
+                .is_empty(),
             "destroy must remove all objects"
         );
         // Reopen creates an empty database.
@@ -204,9 +203,8 @@ fn checkpoint_while_updating_snapshots_consistently() {
         }
         ctx.barrier_all();
         // Snapshot restores epoch1 for every key.
-        let (db2, ev) = ctx
-            .restart("snap/race", "db", OpenFlags::create(), Options::small(), false)
-            .unwrap();
+        let (db2, ev) =
+            ctx.restart("snap/race", "db", OpenFlags::create(), Options::small(), false).unwrap();
         ev.wait();
         for r in 0..2 {
             for i in 0..50 {

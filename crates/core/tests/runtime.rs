@@ -385,9 +385,7 @@ fn custom_hash_controls_ownership() {
     World::run(WorldConfig::for_tests(4), move |rank| {
         let ctx = Context::init(rank, platform.clone(), "nvm://t-hash").unwrap();
         // Key "k<r>" is owned by rank r: hash = first digit.
-        let opt = Options::small().with_custom_hash(Arc::new(|key: &[u8]| {
-            (key[1] - b'0') as u64
-        }));
+        let opt = Options::small().with_custom_hash(Arc::new(|key: &[u8]| (key[1] - b'0') as u64));
         let db = ctx.open("db", OpenFlags::create(), opt).unwrap();
         for r in 0..4 {
             assert_eq!(db.owner_of(format!("k{r}").as_bytes()), r);
@@ -499,7 +497,11 @@ fn multiple_databases_independent() {
         let ctx = Context::init(rank, platform.clone(), "nvm://t-multi").unwrap();
         let a = ctx.open("alpha", OpenFlags::create(), Options::small()).unwrap();
         let b = ctx
-            .open("beta", OpenFlags::create(), Options::small().with_consistency(Consistency::Sequential))
+            .open(
+                "beta",
+                OpenFlags::create(),
+                Options::small().with_consistency(Consistency::Sequential),
+            )
             .unwrap();
         a.put(format!("k{}", ctx.rank()).as_bytes(), b"A").unwrap();
         b.put(format!("k{}", ctx.rank()).as_bytes(), b"B").unwrap();

@@ -25,9 +25,9 @@
 use std::sync::Arc;
 
 use bytes::Bytes;
-use parking_lot::Mutex;
 use papyrus_mpi::RankCtx;
 use papyrus_simtime::{MemModel, NetModel, Resource};
+use parking_lot::Mutex;
 
 /// One stored entry: a value plus a claim flag (Meraculous' `used_flag`).
 #[derive(Debug, Clone)]
@@ -142,7 +142,11 @@ impl GlobalHashTable {
         let mut b = bucket.lock();
         match b.iter_mut().find(|s| s.key == key) {
             Some(slot) => slot.value = Bytes::copy_from_slice(value),
-            None => b.push(Slot { key: key.to_vec(), value: Bytes::copy_from_slice(value), claimed: false }),
+            None => b.push(Slot {
+                key: key.to_vec(),
+                value: Bytes::copy_from_slice(value),
+                claimed: false,
+            }),
         }
     }
 
@@ -200,12 +204,7 @@ impl GlobalHashTable {
     /// Total entries across all ranks (collective-ish diagnostic; callers
     /// should barrier first).
     pub fn global_len(&self) -> usize {
-        self.shared
-            .segments
-            .iter()
-            .flat_map(|s| s.buckets.iter())
-            .map(|b| b.lock().len())
-            .sum()
+        self.shared.segments.iter().flat_map(|s| s.buckets.iter()).map(|b| b.lock().len()).sum()
     }
 
     /// Keys owned by this rank (for owner-partitioned traversal seeds).
@@ -331,8 +330,7 @@ mod tests {
 
     #[test]
     fn rdma_costs_charged_remote_only() {
-        let shared =
-            GlobalHashTable::shared(2, 64, NetModel::infiniband_edr(), MemModel::free());
+        let shared = GlobalHashTable::shared(2, 64, NetModel::infiniband_edr(), MemModel::free());
         let times = World::run(WorldConfig::new(2, NetModel::infiniband_edr()), move |rank| {
             let t = GlobalHashTable::attach(shared.clone(), rank.clone());
             if rank.rank() == 0 {

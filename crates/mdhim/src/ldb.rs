@@ -10,8 +10,8 @@
 //! `[count: u64][record: keylen u32, vallen u32, marker u8, key, value]*`
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use papyrus_simtime::{AccessPattern, Clock};
 use papyrus_nvm::NvmStore;
+use papyrus_simtime::{AccessPattern, Clock};
 
 use crate::skiplist::SkipList;
 
@@ -113,8 +113,7 @@ impl MiniLdb {
         if marker != 0 {
             return None; // persisted deletion marker
         }
-        self.store
-            .read(&t.path, off + REC_HEADER + keylen, vallen, AccessPattern::Random, clock)
+        self.store.read(&t.path, off + REC_HEADER + keylen, vallen, AccessPattern::Random, clock)
     }
 
     /// Flush the MemTable into a new table file (synchronous).

@@ -5,10 +5,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use parking_lot::Mutex;
 use papyrus_mpi::{Communicator, RankCtx, RecvSrc, RecvTag};
 use papyrus_nvm::{NvmStore, StorageMap, SystemProfile};
 use papyrus_simtime::Clock;
+use parking_lot::Mutex;
 
 use crate::ldb::MiniLdb;
 
@@ -108,11 +108,8 @@ impl Mdhim {
         let comm_req = rank.world().dup();
         let comm_rep = rank.world().dup();
         let me = rank.rank();
-        let store: NvmStore = if cfg.use_pfs {
-            storage.pfs().clone()
-        } else {
-            storage.nvm_of(me).clone()
-        };
+        let store: NvmStore =
+            if cfg.use_pfs { storage.pfs().clone() } else { storage.nvm_of(me).clone() };
         let ldb = MiniLdb::new(store, format!("{repo}/mdhim/r{me}"), cfg.memtable_capacity);
         let server = Arc::new(Server { ldb: Mutex::new(ldb), staging: Mutex::new(Vec::new()) });
 
@@ -391,7 +388,13 @@ mod tests {
         let profile = SystemProfile::test_profile();
         let storage = StorageMap::new(&profile, 2, 1);
         World::run(WorldConfig::for_tests(2), move |rank| {
-            let mut m = Mdhim::init(rank.clone(), profile.clone(), &storage, "repo", MdhimConfig::default());
+            let mut m = Mdhim::init(
+                rank.clone(),
+                profile.clone(),
+                &storage,
+                "repo",
+                MdhimConfig::default(),
+            );
             if rank.rank() == 0 {
                 for i in 0..20 {
                     m.put(format!("del{i}").as_bytes(), b"v").unwrap();
@@ -418,7 +421,8 @@ mod tests {
         let profile = SystemProfile::test_profile();
         let storage = StorageMap::new(&profile, 1, 1);
         World::run(WorldConfig::for_tests(1), move |rank| {
-            let mut m = Mdhim::init(rank, profile.clone(), &storage, "repo", MdhimConfig::default());
+            let mut m =
+                Mdhim::init(rank, profile.clone(), &storage, "repo", MdhimConfig::default());
             m.put(b"k", b"v").unwrap();
             m.finalize().unwrap();
             assert_eq!(m.put(b"k", b"v").unwrap_err(), MdhimError::Finalized);
@@ -433,7 +437,13 @@ mod tests {
         let storage = StorageMap::new(&profile, 2, 2);
         let net = profile.net.clone();
         let times = World::run(WorldConfig::new(2, net), move |rank| {
-            let mut m = Mdhim::init(rank.clone(), profile.clone(), &storage, "repo", MdhimConfig::default());
+            let mut m = Mdhim::init(
+                rank.clone(),
+                profile.clone(),
+                &storage,
+                "repo",
+                MdhimConfig::default(),
+            );
             for i in 0..50 {
                 m.put(format!("t{i}").as_bytes(), &[0u8; 1024]).unwrap();
             }

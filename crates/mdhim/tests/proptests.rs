@@ -2,10 +2,10 @@
 
 use bytes::Bytes;
 use mdhim::ldb::MiniLdb;
-use mdhim::skiplist::SkipList;
 use mdhim::range_owner;
-use papyrus_simtime::{Clock, DeviceModel};
+use mdhim::skiplist::SkipList;
 use papyrus_nvm::NvmStore;
+use papyrus_simtime::{Clock, DeviceModel};
 use proptest::collection::vec;
 use proptest::prelude::*;
 

@@ -2,8 +2,6 @@
 //! interchangeable distributed-hash-table back-ends: PapyrusKV and the
 //! UPC-style DSM (Figure 12).
 
-
-
 use papyrus_dsm::GlobalHashTable;
 use papyruskv::{BarrierLevel, Db};
 
@@ -120,10 +118,7 @@ pub fn construct<B: KmerBackend>(backend: &B, dataset: &[UfxRecord], rank: usize
 
 /// Binary-search a sorted UFX dataset for a k-mer.
 fn find_record<'a>(dataset: &'a [UfxRecord], kmer: &[u8]) -> Option<&'a UfxRecord> {
-    dataset
-        .binary_search_by(|r| r.kmer.as_slice().cmp(kmer))
-        .ok()
-        .map(|i| &dataset[i])
+    dataset.binary_search_by(|r| r.kmer.as_slice().cmp(kmer)).ok().map(|i| &dataset[i])
 }
 
 /// Whether `rec` starts a contig, considering both its own left extension
@@ -208,7 +203,6 @@ pub fn traverse<B: KmerBackend>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
     use crate::genome::{synthesize_genome, synthesize_reads, GenomeConfig};
     use crate::ufx::build_dataset;
     use papyrus_dsm::GlobalHashTable as Ght;
@@ -216,9 +210,17 @@ mod tests {
     use papyrus_nvm::SystemProfile;
     use papyrus_simtime::{MemModel, NetModel};
     use papyruskv::{Context, OpenFlags, Options, Platform};
+    use std::sync::Arc;
 
     fn small_cfg() -> GenomeConfig {
-        GenomeConfig { length: 4000, repeats: 4, repeat_len: 40, read_len: 120, coverage: 6, seed: 7 }
+        GenomeConfig {
+            length: 4000,
+            repeats: 4,
+            repeat_len: 40,
+            read_len: 120,
+            coverage: 6,
+            seed: 7,
+        }
     }
 
     fn assemble_dsm(n: usize, cfg: &GenomeConfig, k: usize) -> Vec<Vec<u8>> {
@@ -243,7 +245,8 @@ mod tests {
         let dataset = Arc::new(build_dataset(&reads, k));
         let platform = Platform::new(SystemProfile::test_profile(), n);
         let per_rank = World::run(WorldConfig::for_tests(n), move |rank| {
-            let ctx = Context::init(rank.clone(), platform.clone(), "nvm://meraculous-test").unwrap();
+            let ctx =
+                Context::init(rank.clone(), platform.clone(), "nvm://meraculous-test").unwrap();
             let opt = Options::small()
                 .with_memtable_capacity(1 << 20)
                 .with_custom_hash(Arc::new(meraculous_hash));

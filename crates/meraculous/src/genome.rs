@@ -39,12 +39,10 @@ impl Default for GenomeConfig {
 /// Generate a random genome with planted repeats.
 pub fn synthesize_genome(cfg: &GenomeConfig) -> Vec<u8> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut genome: Vec<u8> =
-        (0..cfg.length).map(|_| BASES[rng.gen_range(0..4)]).collect();
+    let mut genome: Vec<u8> = (0..cfg.length).map(|_| BASES[rng.gen_range(0..4)]).collect();
     if cfg.repeats > 0 && cfg.repeat_len > 0 && cfg.length > 4 * cfg.repeat_len {
         // Plant copies of one repeat block at random positions.
-        let block: Vec<u8> =
-            (0..cfg.repeat_len).map(|_| BASES[rng.gen_range(0..4)]).collect();
+        let block: Vec<u8> = (0..cfg.repeat_len).map(|_| BASES[rng.gen_range(0..4)]).collect();
         for _ in 0..cfg.repeats {
             let pos = rng.gen_range(0..cfg.length - cfg.repeat_len);
             genome[pos..pos + cfg.repeat_len].copy_from_slice(&block);
@@ -126,7 +124,13 @@ mod tests {
 
     #[test]
     fn tiny_genome_handled() {
-        let cfg = GenomeConfig { length: 50, read_len: 100, coverage: 2, repeats: 0, ..Default::default() };
+        let cfg = GenomeConfig {
+            length: 50,
+            read_len: 100,
+            coverage: 2,
+            repeats: 0,
+            ..Default::default()
+        };
         let g = synthesize_genome(&cfg);
         let reads = synthesize_reads(&g, &cfg);
         assert!(!reads.is_empty());

@@ -113,10 +113,7 @@ mod tests {
         let genome = b"ACGTACG".to_vec();
         let a = vec![b"ACGT".to_vec()];
         let b = vec![b"TACG".to_vec()];
-        assert!(matches!(
-            check_contigs(&genome, &a, &b, 0),
-            Err(VerifyError::Mismatch { .. })
-        ));
+        assert!(matches!(check_contigs(&genome, &a, &b, 0), Err(VerifyError::Mismatch { .. })));
     }
 
     #[test]

@@ -85,14 +85,7 @@ impl std::fmt::Debug for Communicator {
 impl Communicator {
     pub(crate) fn new(fabric: Arc<Fabric>, id: CommId, record: Arc<CommRecord>, me: Rank) -> Self {
         let me_world = record.members[me];
-        Self {
-            fabric,
-            id,
-            record,
-            me,
-            me_world,
-            next_child_seq: Arc::new(AtomicU64::new(0)),
-        }
+        Self { fabric, id, record, me, me_world, next_child_seq: Arc::new(AtomicU64::new(0)) }
     }
 
     /// This rank's index within the communicator.
@@ -122,10 +115,9 @@ impl Communicator {
         // Sender-side software overhead (an MPI_Send on the happy path).
         let now = clock.advance(self.fabric.net().msg_latency / 4);
         let stamp = self.fabric.wire_stamp(self.me_world, dst_world, payload.len() as u64, now);
-        self.fabric.deliver(
-            dst_world,
-            Envelope { comm: self.id, src: self.me, tag, stamp, payload },
-        );
+        self.fabric.tel(self.me_world).on_send(payload.len() as u64, now, stamp);
+        self.fabric
+            .deliver(dst_world, Envelope { comm: self.id, src: self.me, tag, stamp, payload });
     }
 
     /// Timestamp-explicit send for background threads (PapyrusKV's message
@@ -136,10 +128,9 @@ impl Communicator {
         let payload = payload.into();
         let dst_world = self.record.members[dst];
         let stamp = self.fabric.wire_stamp(self.me_world, dst_world, payload.len() as u64, now);
-        self.fabric.deliver(
-            dst_world,
-            Envelope { comm: self.id, src: self.me, tag, stamp, payload },
-        );
+        self.fabric.tel(self.me_world).on_send(payload.len() as u64, now, stamp);
+        self.fabric
+            .deliver(dst_world, Envelope { comm: self.id, src: self.me, tag, stamp, payload });
         stamp
     }
 
@@ -153,7 +144,8 @@ impl Communicator {
 
     /// Non-blocking receive; `None` if no matching message is queued.
     pub fn try_recv(&self, src: RecvSrc, tag: RecvTag) -> Option<Message> {
-        let env = self.fabric.try_recv(self.me_world, self.id, src.into_option(), tag.into_option())?;
+        let env =
+            self.fabric.try_recv(self.me_world, self.id, src.into_option(), tag.into_option())?;
         self.stamp_in(&env);
         Some(Message { src: env.src, tag: env.tag, payload: env.payload, stamp: env.stamp })
     }
@@ -170,7 +162,8 @@ impl Communicator {
 
     /// Non-blocking unstamped receive.
     pub fn try_recv_unstamped(&self, src: RecvSrc, tag: RecvTag) -> Option<Message> {
-        let env = self.fabric.try_recv(self.me_world, self.id, src.into_option(), tag.into_option())?;
+        let env =
+            self.fabric.try_recv(self.me_world, self.id, src.into_option(), tag.into_option())?;
         Some(Message { src: env.src, tag: env.tag, payload: env.payload, stamp: env.stamp })
     }
 
@@ -194,9 +187,7 @@ impl Communicator {
         let clock = self.fabric.clock(self.me_world);
         let cost = self.fabric.collective_cost(n);
         let (bufs, stamp) =
-            self.record
-                .collective
-                .allgather(n, self.me, contribution, clock.now(), cost);
+            self.record.collective.allgather(n, self.me, contribution, clock.now(), cost);
         clock.merge(stamp);
         bufs
     }
@@ -222,9 +213,8 @@ impl Communicator {
     /// messages cannot collide with application messages.
     pub fn dup(&self) -> Communicator {
         let seq = self.next_child_seq.fetch_add(1, Ordering::Relaxed);
-        let (id, record) = self
-            .fabric
-            .create_child(self.id, seq, u64::MAX, self.record.members.to_vec());
+        let (id, record) =
+            self.fabric.create_child(self.id, seq, u64::MAX, self.record.members.to_vec());
         // Collective semantics: every member must arrive before any proceeds,
         // matching MPI_Comm_dup.
         self.barrier();
@@ -248,10 +238,8 @@ impl Communicator {
             })
             .collect();
         members.sort_unstable();
-        let world_members: Vec<Rank> = members
-            .iter()
-            .map(|&(_, parent_rank)| self.record.members[parent_rank])
-            .collect();
+        let world_members: Vec<Rank> =
+            members.iter().map(|&(_, parent_rank)| self.record.members[parent_rank]).collect();
         let my_index = members
             .iter()
             .position(|&(_, r)| r == self.me)

@@ -5,10 +5,67 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use bytes::Bytes;
-use parking_lot::{Condvar, Mutex};
 use papyrus_simtime::{transfer_ns, Clock, NetModel, Resource, SimNs};
+use papyrus_telemetry::{Counter, Gauge, Histogram, SpanRecorder, TID_APP};
+use parking_lot::{Condvar, Mutex};
 
 use crate::{Rank, Tag};
+
+/// Per-rank channel telemetry: message/byte counts in both directions,
+/// instantaneous mailbox depth, and per-message wire time. Lives on the
+/// rank's trace timeline (pid == world rank) under category `mpi`.
+pub(crate) struct RankNetTel {
+    send_count: Counter,
+    send_bytes: Counter,
+    recv_count: Counter,
+    recv_bytes: Counter,
+    queue_depth: Gauge,
+    msg_ns: Histogram,
+    rec: SpanRecorder,
+}
+
+impl RankNetTel {
+    fn new(rank: Rank) -> Self {
+        let reg = papyrus_telemetry::global();
+        let pid = rank as u32;
+        Self {
+            send_count: reg.counter(pid, "net.send.count"),
+            send_bytes: reg.counter(pid, "net.send.bytes"),
+            recv_count: reg.counter(pid, "net.recv.count"),
+            recv_bytes: reg.counter(pid, "net.recv.bytes"),
+            queue_depth: reg.gauge(pid, "net.mailbox.depth"),
+            msg_ns: reg.histogram(pid, "net.msg.ns"),
+            rec: reg.recorder_for_rank(rank),
+        }
+    }
+
+    /// Account an outbound message: `now` is the send time on the sender's
+    /// clock, `stamp` the computed arrival time.
+    pub(crate) fn on_send(&self, bytes: u64, now: SimNs, stamp: SimNs) {
+        if !papyrus_telemetry::is_enabled() {
+            return;
+        }
+        self.send_count.inc();
+        self.send_bytes.add(bytes);
+        self.msg_ns.record(stamp.saturating_sub(now));
+        self.rec.span("mpi", "send", TID_APP, now, stamp);
+    }
+
+    fn on_deliver(&self, depth: usize) {
+        if papyrus_telemetry::is_enabled() {
+            self.queue_depth.set(depth as i64);
+        }
+    }
+
+    fn on_recv(&self, bytes: u64, depth: usize) {
+        if !papyrus_telemetry::is_enabled() {
+            return;
+        }
+        self.recv_count.inc();
+        self.recv_bytes.add(bytes);
+        self.queue_depth.set(depth as i64);
+    }
+}
 
 /// Internal communicator identifier (unique within a [`Fabric`]).
 pub(crate) type CommId = u64;
@@ -133,6 +190,7 @@ pub struct Fabric {
     backbone: Resource,
     backbone_links: u32,
     clocks: Vec<Clock>,
+    tel: Vec<RankNetTel>,
     comms: Mutex<HashMap<CommId, Arc<CommRecord>>>,
     /// Deterministic child-comm registry: (parent id, per-parent sequence
     /// number, discriminator) -> created record. SPMD programs create comms
@@ -161,6 +219,7 @@ impl Fabric {
             backbone: Resource::new(),
             backbone_links,
             clocks: (0..n).map(|_| Clock::new()).collect(),
+            tel: (0..n).map(RankNetTel::new).collect(),
             comms: Mutex::new(HashMap::new()),
             children: Mutex::new(HashMap::new()),
             next_comm_id: Mutex::new(1),
@@ -245,10 +304,20 @@ impl Fabric {
         self.nic_rx[dst].submit(bb_done - t + self.net.msg_latency, t)
     }
 
+    /// Per-rank channel telemetry handles.
+    pub(crate) fn tel(&self, world_rank: Rank) -> &RankNetTel {
+        &self.tel[world_rank]
+    }
+
     /// Deposit an envelope into `dst_world`'s mailbox.
     pub(crate) fn deliver(&self, dst_world: Rank, env: Envelope) {
         let mb = &self.mailboxes[dst_world];
-        mb.queue.lock().push_back(env);
+        let depth = {
+            let mut q = mb.queue.lock();
+            q.push_back(env);
+            q.len()
+        };
+        self.tel[dst_world].on_deliver(depth);
         mb.cv.notify_all();
     }
 
@@ -264,11 +333,12 @@ impl Fabric {
         let mb = &self.mailboxes[me_world];
         let mut q = mb.queue.lock();
         loop {
-            if let Some(pos) = q
-                .iter()
-                .position(|e| e.comm == comm && src.is_none_or(|s| e.src == s) && tag.is_none_or(|t| e.tag == t))
-            {
-                return q.remove(pos).unwrap();
+            if let Some(pos) = q.iter().position(|e| {
+                e.comm == comm && src.is_none_or(|s| e.src == s) && tag.is_none_or(|t| e.tag == t)
+            }) {
+                let env = q.remove(pos).unwrap();
+                self.tel[me_world].on_recv(env.payload.len() as u64, q.len());
+                return env;
             }
             mb.cv.wait(&mut q);
         }
@@ -285,8 +355,14 @@ impl Fabric {
         let mb = &self.mailboxes[me_world];
         let mut q = mb.queue.lock();
         q.iter()
-            .position(|e| e.comm == comm && src.is_none_or(|s| e.src == s) && tag.is_none_or(|t| e.tag == t))
-            .map(|pos| q.remove(pos).unwrap())
+            .position(|e| {
+                e.comm == comm && src.is_none_or(|s| e.src == s) && tag.is_none_or(|t| e.tag == t)
+            })
+            .map(|pos| {
+                let env = q.remove(pos).unwrap();
+                self.tel[me_world].on_recv(env.payload.len() as u64, q.len());
+                env
+            })
     }
 
     /// Count of undelivered messages in a rank's mailbox (diagnostics).
@@ -297,7 +373,8 @@ impl Fabric {
     /// Collective synchronisation cost for an `n`-member operation:
     /// a tree of message latencies down and up.
     pub(crate) fn collective_cost(&self, n: usize) -> SimNs {
-        let depth = usize::BITS - n.next_power_of_two().trailing_zeros().min(usize::BITS - 1) as u32;
+        let depth =
+            usize::BITS - n.next_power_of_two().trailing_zeros().min(usize::BITS - 1) as u32;
         let log2 = if n <= 1 { 0 } else { (n as f64).log2().ceil() as u64 };
         let _ = depth;
         2 * log2 * self.net.msg_latency
@@ -318,13 +395,7 @@ mod tests {
         let f = fabric(2);
         f.deliver(
             1,
-            Envelope {
-                comm: 0,
-                src: 0,
-                tag: 7,
-                stamp: 123,
-                payload: Bytes::from_static(b"hi"),
-            },
+            Envelope { comm: 0, src: 0, tag: 7, stamp: 123, payload: Bytes::from_static(b"hi") },
         );
         let e = f.recv(1, 0, None, None);
         assert_eq!(e.src, 0);
@@ -336,16 +407,7 @@ mod tests {
     fn recv_filters_by_tag() {
         let f = fabric(1);
         for tag in [1u32, 2, 3] {
-            f.deliver(
-                0,
-                Envelope {
-                    comm: 0,
-                    src: 0,
-                    tag,
-                    stamp: 0,
-                    payload: Bytes::new(),
-                },
-            );
+            f.deliver(0, Envelope { comm: 0, src: 0, tag, stamp: 0, payload: Bytes::new() });
         }
         let e = f.recv(0, 0, None, Some(2));
         assert_eq!(e.tag, 2);
@@ -375,7 +437,12 @@ mod tests {
     fn wire_stamp_uncontended_is_latency_plus_transfer() {
         let f = Fabric::new(
             2,
-            NetModel { name: "t", msg_latency: 10 * US, bandwidth: papyrus_simtime::GIB, rdma_latency: US },
+            NetModel {
+                name: "t",
+                msg_latency: 10 * US,
+                bandwidth: papyrus_simtime::GIB,
+                rdma_latency: US,
+            },
         );
         let stamp = f.wire_stamp(0, 1, papyrus_simtime::GIB, 0);
         assert_eq!(stamp, 10 * US + papyrus_simtime::SEC);
@@ -385,7 +452,12 @@ mod tests {
     fn wire_stamp_incast_serialises_on_receiver() {
         let f = Fabric::new(
             3,
-            NetModel { name: "t", msg_latency: 0, bandwidth: papyrus_simtime::GIB, rdma_latency: 0 },
+            NetModel {
+                name: "t",
+                msg_latency: 0,
+                bandwidth: papyrus_simtime::GIB,
+                rdma_latency: 0,
+            },
         );
         let a = f.wire_stamp(0, 2, papyrus_simtime::GIB, 0);
         let b = f.wire_stamp(1, 2, papyrus_simtime::GIB, 0);
@@ -407,10 +479,7 @@ mod tests {
         let f2 = f.clone();
         let h = std::thread::spawn(move || f2.recv(0, 0, Some(1), Some(9)).stamp);
         std::thread::sleep(std::time::Duration::from_millis(20));
-        f.deliver(
-            0,
-            Envelope { comm: 0, src: 1, tag: 9, stamp: 555, payload: Bytes::new() },
-        );
+        f.deliver(0, Envelope { comm: 0, src: 1, tag: 9, stamp: 555, payload: Bytes::new() });
         assert_eq!(h.join().unwrap(), 555);
     }
 

@@ -27,7 +27,7 @@ mod comm;
 mod fabric;
 mod world;
 
-pub use comm::{Communicator, RecvSrc, RecvTag, Message};
+pub use comm::{Communicator, Message, RecvSrc, RecvTag};
 pub use fabric::Fabric;
 pub use world::{RankCtx, World, WorldConfig};
 

@@ -93,10 +93,7 @@ pub struct RankCtx {
 
 impl std::fmt::Debug for RankCtx {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RankCtx")
-            .field("rank", &self.rank)
-            .field("size", &self.size())
-            .finish()
+        f.debug_struct("RankCtx").field("rank", &self.rank).field("size", &self.size()).finish()
     }
 }
 
@@ -180,9 +177,7 @@ mod tests {
                 }
                 Vec::new()
             } else {
-                (0..100)
-                    .map(|_| w.recv(RecvSrc::Rank(0), RecvTag::Tag(3)).payload[0])
-                    .collect()
+                (0..100).map(|_| w.recv(RecvSrc::Rank(0), RecvTag::Tag(3)).payload[0]).collect()
             }
         });
         assert_eq!(out[1], (0..100).collect::<Vec<u8>>());

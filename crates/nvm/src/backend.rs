@@ -61,11 +61,7 @@ impl Backend for MemBackend {
     }
 
     fn append(&self, path: &str, data: &[u8]) {
-        self.objects
-            .write()
-            .entry(path.to_string())
-            .or_default()
-            .extend_from_slice(data);
+        self.objects.write().entry(path.to_string()).or_default().extend_from_slice(data);
     }
 
     fn get(&self, path: &str, offset: u64, len: u64) -> Option<Bytes> {
@@ -118,10 +114,8 @@ impl DiskBackend {
     fn fs_path(&self, path: &str) -> PathBuf {
         // Object paths are trusted internal names, but keep them contained:
         // strip any leading separators and reject parent traversal.
-        let clean: Vec<&str> = path
-            .split('/')
-            .filter(|c| !c.is_empty() && *c != "." && *c != "..")
-            .collect();
+        let clean: Vec<&str> =
+            path.split('/').filter(|c| !c.is_empty() && *c != "." && *c != "..").collect();
         let mut p = self.root.clone();
         for c in clean {
             p.push(c);

@@ -4,8 +4,74 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use papyrus_simtime::{AccessPattern, Clock, DeviceModel, Resource, SimNs};
+use papyrus_telemetry::{Counter, Histogram, SpanRecorder};
 
 use crate::backend::{Backend, MemBackend};
+
+/// Telemetry handles for one store, shared by all clones. Each store owns
+/// its own trace timeline (pid ≥ [`papyrus_telemetry::NVM_PID_BASE`]) so
+/// device occupancy renders as a separate track in Chrome/Perfetto.
+struct StoreTel {
+    read_ops: Counter,
+    read_bytes: Counter,
+    write_ops: Counter,
+    write_bytes: Counter,
+    meta_ops: Counter,
+    queue_wait: Histogram,
+    service: Histogram,
+    rec: SpanRecorder,
+}
+
+impl StoreTel {
+    fn new(device_name: &str) -> Self {
+        let reg = papyrus_telemetry::global();
+        let pid = reg.alloc_store_pid(&format!("nvm {device_name}"));
+        Self {
+            read_ops: reg.counter(pid, "io.read.ops"),
+            read_bytes: reg.counter(pid, "io.read.bytes"),
+            write_ops: reg.counter(pid, "io.write.ops"),
+            write_bytes: reg.counter(pid, "io.write.bytes"),
+            meta_ops: reg.counter(pid, "io.meta.ops"),
+            queue_wait: reg.histogram(pid, "io.queue_wait.ns"),
+            service: reg.histogram(pid, "io.service.ns"),
+            rec: reg.recorder(pid),
+        }
+    }
+
+    /// Account one device operation: `cost` is pure service time, the gap
+    /// `done - now - cost` is time spent queued behind other requests.
+    fn io(
+        &self,
+        name: &'static str,
+        is_write: bool,
+        bytes: u64,
+        now: SimNs,
+        cost: SimNs,
+        done: SimNs,
+    ) {
+        if !papyrus_telemetry::is_enabled() {
+            return;
+        }
+        if is_write {
+            self.write_ops.inc();
+            self.write_bytes.add(bytes);
+        } else {
+            self.read_ops.inc();
+            self.read_bytes.add(bytes);
+        }
+        self.queue_wait.record(done.saturating_sub(now).saturating_sub(cost));
+        self.service.record(cost);
+        self.rec.span("nvm", name, 0, now, done);
+    }
+
+    fn meta(&self, name: &'static str, now: SimNs, done: SimNs) {
+        if !papyrus_telemetry::is_enabled() {
+            return;
+        }
+        self.meta_ops.inc();
+        self.rec.span("nvm", name, 0, now, done);
+    }
+}
 
 /// One shared storage: a device cost model, a device queue, and a backend.
 ///
@@ -26,6 +92,7 @@ pub struct NvmStore {
     device: DeviceModel,
     queue: Resource,
     backend: Arc<dyn Backend>,
+    tel: Arc<StoreTel>,
 }
 
 impl std::fmt::Debug for NvmStore {
@@ -45,7 +112,8 @@ impl NvmStore {
 
     /// A store with an explicit backend.
     pub fn with_backend(device: DeviceModel, backend: Arc<dyn Backend>) -> Self {
-        Self { device, queue: Resource::new(), backend }
+        let tel = Arc::new(StoreTel::new(&device.name));
+        Self { device, queue: Resource::new(), backend, tel }
     }
 
     /// The device cost model.
@@ -67,21 +135,28 @@ impl NvmStore {
 
     /// Open/metadata operation at `now`; returns completion stamp.
     pub fn open_at(&self, now: SimNs) -> SimNs {
-        self.queue.submit_shared(now, self.device.open_ns(), self.device.parallelism)
+        let done = self.queue.submit_shared(now, self.device.open_ns(), self.device.parallelism);
+        self.tel.meta("open", now, done);
+        done
     }
 
     /// Write (create/truncate) a whole object at `now`.
     pub fn put_at(&self, path: &str, data: Bytes, now: SimNs) -> SimNs {
-        let cost = self.device.write_ns(data.len() as u64, AccessPattern::Sequential);
+        let bytes = data.len() as u64;
+        let cost = self.device.write_ns(bytes, AccessPattern::Sequential);
         self.backend.put(path, data);
-        self.queue.submit_shared(now, cost, self.device.parallelism)
+        let done = self.queue.submit_shared(now, cost, self.device.parallelism);
+        self.tel.io("write", true, bytes, now, cost, done);
+        done
     }
 
     /// Append to an object at `now` (sequential write).
     pub fn append_at(&self, path: &str, data: &[u8], now: SimNs) -> SimNs {
         let cost = self.device.write_ns(data.len() as u64, AccessPattern::Sequential);
         self.backend.append(path, data);
-        self.queue.submit_shared(now, cost, self.device.parallelism)
+        let done = self.queue.submit_shared(now, cost, self.device.parallelism);
+        self.tel.io("append", true, data.len() as u64, now, cost, done);
+        done
     }
 
     /// Ranged read at `now` with the given access pattern.
@@ -96,6 +171,7 @@ impl NvmStore {
         let data = self.backend.get(path, offset, len)?;
         let cost = self.device.read_ns(data.len() as u64, pattern);
         let done = self.queue.submit_shared(now, cost, self.device.parallelism);
+        self.tel.io("read", false, data.len() as u64, now, cost, done);
         Some((data, done))
     }
 
@@ -104,13 +180,16 @@ impl NvmStore {
         let data = self.backend.get_all(path)?;
         let cost = self.device.read_ns(data.len() as u64, AccessPattern::Sequential);
         let done = self.queue.submit_shared(now, cost, self.device.parallelism);
+        self.tel.io("read_all", false, data.len() as u64, now, cost, done);
         Some((data, done))
     }
 
     /// Delete at `now` (metadata-cost operation).
     pub fn delete_at(&self, path: &str, now: SimNs) -> (bool, SimNs) {
         let existed = self.backend.delete(path);
-        (existed, self.queue.submit_shared(now, self.device.open_ns(), self.device.parallelism))
+        let done = self.queue.submit_shared(now, self.device.open_ns(), self.device.parallelism);
+        self.tel.meta("delete", now, done);
+        (existed, done)
     }
 
     // ----- clocked wrappers (synchronous I/O) -----

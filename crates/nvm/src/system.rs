@@ -155,9 +155,7 @@ impl StorageMap {
     ) -> Self {
         assert!(n_ranks > 0 && group_size > 0);
         let n_groups = n_ranks.div_ceil(group_size);
-        let groups = (0..n_groups)
-            .map(|_| NvmStore::in_memory(profile.nvm.clone()))
-            .collect();
+        let groups = (0..n_groups).map(|_| NvmStore::in_memory(profile.nvm.clone())).collect();
         Self { group_size, groups: Arc::new(groups), pfs }
     }
 
@@ -276,10 +274,7 @@ mod tests {
 
     #[test]
     fn all_eval_systems_listed() {
-        let names: Vec<_> = SystemProfile::all_eval_systems()
-            .iter()
-            .map(|s| s.name)
-            .collect();
+        let names: Vec<_> = SystemProfile::all_eval_systems().iter().map(|s| s.name).collect();
         assert_eq!(names, vec!["summitdev", "stampede", "cori"]);
     }
 }

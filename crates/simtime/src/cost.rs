@@ -59,7 +59,9 @@ impl DeviceModel {
     /// 1 MiB-per-stripe threshold, matching typical Lustre stripe sizes).
     pub fn read_ns(&self, bytes: u64, pattern: AccessPattern) -> SimNs {
         let (lat, bw) = match pattern {
-            AccessPattern::Sequential => (self.read_latency, self.striped_bw(self.seq_read_bw, bytes)),
+            AccessPattern::Sequential => {
+                (self.read_latency, self.striped_bw(self.seq_read_bw, bytes))
+            }
             AccessPattern::Random => (self.read_latency, self.rand_read_bw),
         };
         lat + transfer_ns(bytes, bw)
@@ -202,12 +204,7 @@ impl NetModel {
 
     /// Mellanox InfiniBand EDR (Summitdev).
     pub fn infiniband_edr() -> Self {
-        Self {
-            name: "infiniband-edr",
-            msg_latency: 3 * US,
-            bandwidth: 11 * GIB,
-            rdma_latency: US,
-        }
+        Self { name: "infiniband-edr", msg_latency: 3 * US, bandwidth: 11 * GIB, rdma_latency: US }
     }
 
     /// Intel Omni-Path (Stampede).
@@ -222,22 +219,12 @@ impl NetModel {
 
     /// Cray Aries Dragonfly (Cori).
     pub fn aries_dragonfly() -> Self {
-        Self {
-            name: "aries-dragonfly",
-            msg_latency: 2 * US,
-            bandwidth: 9 * GIB,
-            rdma_latency: US,
-        }
+        Self { name: "aries-dragonfly", msg_latency: 2 * US, bandwidth: 9 * GIB, rdma_latency: US }
     }
 
     /// Free network for unit tests.
     pub fn free() -> Self {
-        Self {
-            name: "free",
-            msg_latency: 0,
-            bandwidth: 0,
-            rdma_latency: 0,
-        }
+        Self { name: "free", msg_latency: 0, bandwidth: 0, rdma_latency: 0 }
     }
 }
 
@@ -263,18 +250,12 @@ impl MemModel {
     /// DDR4 as in the evaluation systems. Per-rank copy bandwidth reflects a
     /// single core's share of the socket.
     pub fn ddr4() -> Self {
-        Self {
-            op_latency: 350,
-            copy_bw: 6 * GIB,
-        }
+        Self { op_latency: 350, copy_bw: 6 * GIB }
     }
 
     /// Free memory model for unit tests.
     pub fn free() -> Self {
-        Self {
-            op_latency: 0,
-            copy_bw: 0,
-        }
+        Self { op_latency: 0, copy_bw: 0 }
     }
 }
 
@@ -290,10 +271,7 @@ mod tests {
         let v = 128 * KIB;
         let nvme_ns = nvme.open_ns() + nvme.read_ns(v, AccessPattern::Random);
         let lustre_ns = lustre.open_ns() + lustre.read_ns(v, AccessPattern::Random);
-        assert!(
-            lustre_ns > 20 * nvme_ns,
-            "lustre {lustre_ns} vs nvme {nvme_ns}"
-        );
+        assert!(lustre_ns > 20 * nvme_ns, "lustre {lustre_ns} vs nvme {nvme_ns}");
     }
 
     #[test]
@@ -303,7 +281,10 @@ mod tests {
         let big = 64 * MIB;
         // With striping, large sequential Lustre writes approach or beat a
         // single NVMe device (paper §5.2, Figure 6 barrier curves).
-        assert!(lustre.write_ns(big, AccessPattern::Sequential) < 3 * nvme.write_ns(big, AccessPattern::Sequential));
+        assert!(
+            lustre.write_ns(big, AccessPattern::Sequential)
+                < 3 * nvme.write_ns(big, AccessPattern::Sequential)
+        );
     }
 
     #[test]
@@ -337,11 +318,8 @@ mod tests {
 
     #[test]
     fn rdma_cheaper_than_message() {
-        for net in [
-            NetModel::infiniband_edr(),
-            NetModel::omni_path(),
-            NetModel::aries_dragonfly(),
-        ] {
+        for net in [NetModel::infiniband_edr(), NetModel::omni_path(), NetModel::aries_dragonfly()]
+        {
             assert!(net.rdma_ns(64) < net.msg_ns(64), "{}", net.name);
         }
     }

@@ -83,9 +83,8 @@ impl Resource {
         // up, while bandwidth-dominated ones (flushes, incast transfers)
         // queue for real. This also stops out-of-order submissions from
         // free-running ranks chaining the whole job onto one timeline.
-        let latest_start = now
-            .saturating_add(occupancy.saturating_mul(MAX_OVERLAP))
-            .saturating_add(QUEUE_SLACK);
+        let latest_start =
+            now.saturating_add(occupancy.saturating_mul(MAX_OVERLAP)).saturating_add(QUEUE_SLACK);
         let mut cur = self.busy_until.load(Ordering::Relaxed);
         loop {
             let start = cur.max(now).min(latest_start);

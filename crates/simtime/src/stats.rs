@@ -93,6 +93,64 @@ impl OpStats {
             h as f64 / (h + m) as f64
         }
     }
+
+    /// Point-in-time copy of all counters. Individual loads are relaxed, so
+    /// under concurrent recording the fields are each individually accurate
+    /// but not a single atomic cut — fine for reporting.
+    pub fn snapshot(&self) -> OpStatsSnapshot {
+        OpStatsSnapshot {
+            ops: self.ops(),
+            bytes: self.bytes(),
+            hits: self.hits(),
+            misses: self.misses(),
+        }
+    }
+
+    /// Counters accumulated since `prev` was taken (interval accounting for
+    /// phase-by-phase benchmark reporting). Saturates rather than wrapping
+    /// if `prev` is newer than `self`.
+    pub fn delta(&self, prev: &OpStatsSnapshot) -> OpStatsSnapshot {
+        let cur = self.snapshot();
+        OpStatsSnapshot {
+            ops: cur.ops.saturating_sub(prev.ops),
+            bytes: cur.bytes.saturating_sub(prev.bytes),
+            hits: cur.hits.saturating_sub(prev.hits),
+            misses: cur.misses.saturating_sub(prev.misses),
+        }
+    }
+
+    /// Zero all counters (shared across every clone of this handle).
+    pub fn reset(&self) {
+        self.inner.ops.store(0, Ordering::Relaxed);
+        self.inner.bytes.store(0, Ordering::Relaxed);
+        self.inner.hits.store(0, Ordering::Relaxed);
+        self.inner.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An owned copy of [`OpStats`] counters at one instant; also the result
+/// type of [`OpStats::delta`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpStatsSnapshot {
+    /// Operations recorded.
+    pub ops: u64,
+    /// Bytes recorded.
+    pub bytes: u64,
+    /// Cache/bloom hits recorded.
+    pub hits: u64,
+    /// Cache/bloom misses recorded.
+    pub misses: u64,
+}
+
+impl OpStatsSnapshot {
+    /// Hit ratio in `[0, 1]`; 0 when nothing recorded.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.hits + self.misses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / (self.hits + self.misses) as f64
+        }
+    }
 }
 
 /// A per-rank series of (label, virtual-time) measurement points, used by the
@@ -183,6 +241,24 @@ mod tests {
         s.hit();
         s.miss();
         assert!((s.hit_ratio() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_delta_reset() {
+        let s = OpStats::new();
+        s.record(10);
+        s.hit();
+        let first = s.snapshot();
+        assert_eq!(first, OpStatsSnapshot { ops: 1, bytes: 10, hits: 1, misses: 0 });
+        s.record(20);
+        s.miss();
+        let d = s.delta(&first);
+        assert_eq!(d, OpStatsSnapshot { ops: 1, bytes: 20, hits: 0, misses: 1 });
+        assert_eq!(d.hit_ratio(), 0.0);
+        s.reset();
+        assert_eq!(s.snapshot(), OpStatsSnapshot::default());
+        // A stale (pre-reset) snapshot saturates instead of wrapping.
+        assert_eq!(s.delta(&first), OpStatsSnapshot::default());
     }
 
     #[test]

@@ -1,0 +1,304 @@
+//! Metric/span registry and whole-process snapshotting.
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::hist::{Histogram, HistogramData};
+use crate::metrics::{Counter, Gauge};
+use crate::spans::{self, SpanEvent, SpanRecorder, DEFAULT_SPAN_CAPACITY};
+
+/// Trace pids below this are MPI ranks; NVM store timelines start here.
+pub const NVM_PID_BASE: u32 = 10_000;
+
+/// Thread lane for application (caller) work on a rank timeline.
+pub const TID_APP: u32 = 0;
+/// Thread lane for the compaction thread.
+pub const TID_COMPACT: u32 = 1;
+/// Thread lane for the migration dispatcher thread.
+pub const TID_DISPATCH: u32 = 2;
+/// Thread lane for the remote-request handler thread.
+pub const TID_HANDLER: u32 = 3;
+
+struct RegistryInner {
+    counters: Mutex<BTreeMap<(u32, String), Counter>>,
+    gauges: Mutex<BTreeMap<(u32, String), Gauge>>,
+    histograms: Mutex<BTreeMap<(u32, String), Histogram>>,
+    recorders: Mutex<BTreeMap<u32, SpanRecorder>>,
+    pid_names: Mutex<BTreeMap<u32, String>>,
+    tid_names: Mutex<BTreeMap<(u32, u32), String>>,
+    next_store_pid: Mutex<u32>,
+}
+
+/// Per-process home for all telemetry state. Handles returned by the
+/// `counter`/`gauge`/`histogram`/`recorder` methods are interned: the same
+/// `(pid, name)` always yields the same underlying atomic, so subsystems on
+/// different threads can share metrics by name.
+pub struct Registry {
+    enabled: Arc<AtomicBool>,
+    inner: RegistryInner,
+}
+
+impl Registry {
+    /// New registry; telemetry starts disabled (near-zero-cost paths).
+    pub fn new() -> Self {
+        Self::with_enabled(false)
+    }
+
+    /// New registry with an explicit initial enabled state.
+    pub fn with_enabled(enabled: bool) -> Self {
+        Self {
+            enabled: Arc::new(AtomicBool::new(enabled)),
+            inner: RegistryInner {
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+                recorders: Mutex::new(BTreeMap::new()),
+                pid_names: Mutex::new(BTreeMap::new()),
+                tid_names: Mutex::new(BTreeMap::new()),
+                next_store_pid: Mutex::new(NVM_PID_BASE),
+            },
+        }
+    }
+
+    /// Turn recording on or off. Existing handles observe the change on
+    /// their next operation (relaxed load).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether recording is on.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Interned counter `(pid, name)`.
+    pub fn counter(&self, pid: u32, name: &str) -> Counter {
+        let mut g = self.inner.counters.lock();
+        g.entry((pid, name.to_string()))
+            .or_insert_with(|| Counter::with_flag(self.enabled.clone()))
+            .clone()
+    }
+
+    /// Interned gauge `(pid, name)`.
+    pub fn gauge(&self, pid: u32, name: &str) -> Gauge {
+        let mut g = self.inner.gauges.lock();
+        g.entry((pid, name.to_string()))
+            .or_insert_with(|| Gauge::with_flag(self.enabled.clone()))
+            .clone()
+    }
+
+    /// Interned histogram `(pid, name)`.
+    pub fn histogram(&self, pid: u32, name: &str) -> Histogram {
+        let mut g = self.inner.histograms.lock();
+        g.entry((pid, name.to_string()))
+            .or_insert_with(|| Histogram::with_flag(self.enabled.clone()))
+            .clone()
+    }
+
+    /// Interned span recorder for timeline `pid`.
+    pub fn recorder(&self, pid: u32) -> SpanRecorder {
+        let mut g = self.inner.recorders.lock();
+        g.entry(pid)
+            .or_insert_with(|| {
+                SpanRecorder::with_flag(self.enabled.clone(), pid, DEFAULT_SPAN_CAPACITY)
+            })
+            .clone()
+    }
+
+    /// Recorder for an MPI rank; names the pid and its standard thread
+    /// lanes (app/compact/dispatch/handler) in the trace.
+    pub fn recorder_for_rank(&self, rank: usize) -> SpanRecorder {
+        let pid = rank as u32;
+        self.name_pid(pid, &format!("rank {rank}"));
+        self.name_tid(pid, TID_APP, "app");
+        self.name_tid(pid, TID_COMPACT, "compact");
+        self.name_tid(pid, TID_DISPATCH, "dispatch");
+        self.name_tid(pid, TID_HANDLER, "handler");
+        self.recorder(pid)
+    }
+
+    /// Allocate a fresh NVM-store timeline pid (≥ [`NVM_PID_BASE`]) and
+    /// name it `label`.
+    pub fn alloc_store_pid(&self, label: &str) -> u32 {
+        let mut g = self.inner.next_store_pid.lock();
+        let pid = *g;
+        *g += 1;
+        drop(g);
+        self.name_pid(pid, label);
+        pid
+    }
+
+    /// Set the display name of a trace pid.
+    pub fn name_pid(&self, pid: u32, name: &str) {
+        self.inner.pid_names.lock().insert(pid, name.to_string());
+    }
+
+    /// Set the display name of a `(pid, tid)` thread lane.
+    pub fn name_tid(&self, pid: u32, tid: u32, name: &str) {
+        self.inner.tid_names.lock().insert((pid, tid), name.to_string());
+    }
+
+    /// Collect a consistent point-in-time copy of every metric and span.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let counters = self
+            .inner
+            .counters
+            .lock()
+            .iter()
+            .map(|((pid, name), c)| (*pid, name.clone(), c.get()))
+            .collect();
+        let gauges = self
+            .inner
+            .gauges
+            .lock()
+            .iter()
+            .map(|((pid, name), g)| (*pid, name.clone(), g.get()))
+            .collect();
+        let histograms = self
+            .inner
+            .histograms
+            .lock()
+            .iter()
+            .map(|((pid, name), h)| (*pid, name.clone(), h.snapshot()))
+            .collect();
+        let mut events = Vec::new();
+        let mut dropped_events = 0u64;
+        for rec in self.inner.recorders.lock().values() {
+            events.extend(rec.snapshot());
+            dropped_events += rec.dropped();
+        }
+        // Perfetto/catapult want per-track ordering; sort by (pid, ts) so
+        // each rank's timeline is monotone.
+        events.sort_by_key(|e| (e.pid, e.ts, e.tid));
+        TelemetrySnapshot {
+            counters,
+            gauges,
+            histograms,
+            events,
+            pid_names: self.inner.pid_names.lock().iter().map(|(p, n)| (*p, n.clone())).collect(),
+            tid_names: self
+                .inner
+                .tid_names
+                .lock()
+                .iter()
+                .map(|((p, t), n)| (*p, *t, n.clone()))
+                .collect(),
+            dropped_events,
+        }
+    }
+
+    /// Zero every metric and clear every span buffer (handles stay valid).
+    pub fn reset(&self) {
+        for c in self.inner.counters.lock().values() {
+            c.reset();
+        }
+        for g in self.inner.gauges.lock().values() {
+            g.reset();
+        }
+        for h in self.inner.histograms.lock().values() {
+            h.reset();
+        }
+        for r in self.inner.recorders.lock().values() {
+            r.reset();
+        }
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Point-in-time copy of a [`Registry`]: per-pid metric values plus the
+/// merged, `(pid, ts)`-sorted event stream.
+pub struct TelemetrySnapshot {
+    /// `(pid, name, value)` sorted by pid then name.
+    pub counters: Vec<(u32, String, u64)>,
+    /// `(pid, name, value)` sorted by pid then name.
+    pub gauges: Vec<(u32, String, i64)>,
+    /// `(pid, name, data)` sorted by pid then name.
+    pub histograms: Vec<(u32, String, HistogramData)>,
+    /// All span events, sorted by `(pid, ts)`.
+    pub events: Vec<SpanEvent>,
+    /// Display names for trace pids.
+    pub pid_names: Vec<(u32, String)>,
+    /// Display names for `(pid, tid)` lanes.
+    pub tid_names: Vec<(u32, u32, String)>,
+    /// Events lost to full buffers.
+    pub dropped_events: u64,
+}
+
+impl TelemetrySnapshot {
+    /// Chrome Trace Event JSON (open in chrome://tracing or Perfetto).
+    pub fn to_chrome_trace(&self) -> String {
+        spans::to_chrome_trace(&self.events, &self.pid_names, &self.tid_names, self.dropped_events)
+    }
+
+    /// Write the Chrome trace to `path`.
+    pub fn write_chrome_trace(&self, path: &str) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_chrome_trace().as_bytes())
+    }
+
+    /// Human-readable per-pid table of counters, gauges, and histogram
+    /// percentiles (virtual-time units). Zero-valued rows are omitted —
+    /// interned handles outlive `reset()`, so a long sweep accumulates
+    /// dead `(pid, name)` pairs that would otherwise swamp the table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let counters: Vec<_> = self.counters.iter().filter(|(_, _, v)| *v != 0).collect();
+        let gauges: Vec<_> = self.gauges.iter().filter(|(_, _, v)| *v != 0).collect();
+        if !counters.is_empty() || !gauges.is_empty() {
+            out.push_str(&format!("{:<6} {:<34} {:>16}\n", "pid", "counter/gauge", "value"));
+            for (pid, name, v) in counters {
+                out.push_str(&format!("{pid:<6} {name:<34} {v:>16}\n"));
+            }
+            for (pid, name, v) in gauges {
+                out.push_str(&format!("{pid:<6} {name:<34} {v:>16}\n"));
+            }
+        }
+        let histograms: Vec<_> = self.histograms.iter().filter(|(_, _, h)| h.count != 0).collect();
+        if !histograms.is_empty() {
+            out.push_str(&format!(
+                "\n{:<6} {:<34} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                "pid", "histogram", "count", "mean", "p50", "p95", "p99", "max"
+            ));
+            for (pid, name, h) in histograms {
+                out.push_str(&format!(
+                    "{pid:<6} {name:<34} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                    h.count,
+                    fmt_ns(h.mean() as u64),
+                    fmt_ns(h.p50()),
+                    fmt_ns(h.p95()),
+                    fmt_ns(h.p99()),
+                    fmt_ns(h.max),
+                ));
+            }
+        }
+        if self.dropped_events > 0 {
+            out.push_str(&format!(
+                "\n(span buffer overflow: {} events dropped)\n",
+                self.dropped_events
+            ));
+        }
+        out
+    }
+}
+
+/// Format virtual nanoseconds with a unit suffix.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}

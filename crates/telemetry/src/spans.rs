@@ -1,0 +1,315 @@
+//! Bounded per-timeline event recorder with Chrome Trace Event export.
+//!
+//! Each timeline (a "pid" in trace terms — one per rank, plus one per NVM
+//! store) owns a bounded buffer of events stamped with **virtual** time
+//! ([`papyrus_simtime::SimNs`]). When the buffer fills, further events are
+//! counted as dropped rather than reallocating without bound. The JSON
+//! output follows the Chrome Trace Event format (the "JSON Array with
+//! metadata" flavor) and opens directly in chrome://tracing or Perfetto.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use papyrus_simtime::SimNs;
+
+use parking_lot::Mutex;
+
+/// Default per-timeline event capacity.
+pub const DEFAULT_SPAN_CAPACITY: usize = 1 << 16;
+
+/// What kind of trace event this is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span with a duration (`ph: "X"`).
+    Complete {
+        /// Span duration in virtual ns.
+        dur: SimNs,
+    },
+    /// A point-in-time marker (`ph: "i"`).
+    Instant,
+}
+
+/// One recorded event on a timeline.
+#[derive(Clone, Debug)]
+pub struct SpanEvent {
+    /// Event name (e.g. `"flush"`).
+    pub name: &'static str,
+    /// Category (e.g. `"core"`, `"mpi"`, `"nvm"`).
+    pub cat: &'static str,
+    /// Trace pid this event belongs to (rank, or NVM store timeline).
+    pub pid: u32,
+    /// Trace tid within the pid (e.g. app/compact/dispatch/handler thread).
+    pub tid: u32,
+    /// Start timestamp in virtual ns.
+    pub ts: SimNs,
+    /// Kind (complete span or instant).
+    pub kind: EventKind,
+}
+
+/// An open span returned by [`SpanRecorder::begin`]; finish it with
+/// [`SpanRecorder::end`]. Virtual time has no RAII clock, so both edges are
+/// stamped explicitly by the caller.
+#[must_use = "finish the span with SpanRecorder::end"]
+#[derive(Clone, Copy, Debug)]
+pub struct PendingSpan {
+    name: &'static str,
+    cat: &'static str,
+    tid: u32,
+    start: SimNs,
+}
+
+struct RecorderInner {
+    enabled: Arc<AtomicBool>,
+    pid: u32,
+    events: Mutex<Vec<SpanEvent>>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+/// Shareable handle to one timeline's bounded event buffer.
+#[derive(Clone)]
+pub struct SpanRecorder {
+    inner: Arc<RecorderInner>,
+}
+
+impl SpanRecorder {
+    pub(crate) fn with_flag(enabled: Arc<AtomicBool>, pid: u32, capacity: usize) -> Self {
+        Self {
+            inner: Arc::new(RecorderInner {
+                enabled,
+                pid,
+                events: Mutex::new(Vec::new()),
+                capacity,
+                dropped: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Standalone always-enabled recorder for timeline `pid`.
+    pub fn new(pid: u32) -> Self {
+        Self::with_flag(Arc::new(AtomicBool::new(true)), pid, DEFAULT_SPAN_CAPACITY)
+    }
+
+    /// The trace pid of this timeline.
+    pub fn pid(&self) -> u32 {
+        self.inner.pid
+    }
+
+    /// Open a span starting at `start` on thread `tid`.
+    #[inline]
+    pub fn begin(
+        &self,
+        cat: &'static str,
+        name: &'static str,
+        tid: u32,
+        start: SimNs,
+    ) -> PendingSpan {
+        PendingSpan { name, cat, tid, start }
+    }
+
+    /// Close `span` at `end`, recording a complete event.
+    #[inline]
+    pub fn end(&self, span: PendingSpan, end: SimNs) {
+        self.span(span.cat, span.name, span.tid, span.start, end);
+    }
+
+    /// Record a complete span `[start, end]`. No-op when disabled.
+    #[inline]
+    pub fn span(&self, cat: &'static str, name: &'static str, tid: u32, start: SimNs, end: SimNs) {
+        if !self.inner.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.push(SpanEvent {
+            name,
+            cat,
+            pid: self.inner.pid,
+            tid,
+            ts: start,
+            kind: EventKind::Complete { dur: end.saturating_sub(start) },
+        });
+    }
+
+    /// Record an instant marker at `ts`. No-op when disabled.
+    #[inline]
+    pub fn instant(&self, cat: &'static str, name: &'static str, tid: u32, ts: SimNs) {
+        if !self.inner.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.push(SpanEvent { name, cat, pid: self.inner.pid, tid, ts, kind: EventKind::Instant });
+    }
+
+    fn push(&self, ev: SpanEvent) {
+        let mut g = self.inner.events.lock();
+        if g.len() >= self.inner.capacity {
+            drop(g);
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        g.push(ev);
+    }
+
+    /// Events dropped because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.inner.events.lock().len()
+    }
+
+    /// Whether no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy out the buffered events.
+    pub fn snapshot(&self) -> Vec<SpanEvent> {
+        self.inner.events.lock().clone()
+    }
+
+    /// Clear the buffer and drop counter.
+    pub fn reset(&self) {
+        self.inner.events.lock().clear();
+        self.inner.dropped.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Serialize events (plus pid/tid name metadata) to a Chrome Trace Event
+/// JSON string. `pids` maps trace pid → display name; `tids` maps
+/// `(pid, tid)` → thread display name. Events must already be sorted by
+/// `(pid, ts)`; timestamps are converted from virtual ns to trace µs.
+pub fn to_chrome_trace(
+    events: &[SpanEvent],
+    pids: &[(u32, String)],
+    tids: &[(u32, u32, String)],
+    dropped_total: u64,
+) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 1024);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for (pid, name) in pids {
+        push_meta(&mut out, &mut first, "process_name", *pid, None, name);
+    }
+    for (pid, tid, name) in tids {
+        push_meta(&mut out, &mut first, "thread_name", *pid, Some(*tid), name);
+    }
+    for ev in events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let ts_us = ev.ts as f64 / 1_000.0;
+        match ev.kind {
+            EventKind::Complete { dur } => {
+                let dur_us = dur as f64 / 1_000.0;
+                out.push_str(&format!(
+                    "{{\"name\":{},\"cat\":{},\"ph\":\"X\",\"ts\":{ts_us},\"dur\":{dur_us},\"pid\":{},\"tid\":{}}}",
+                    json_str(ev.name),
+                    json_str(ev.cat),
+                    ev.pid,
+                    ev.tid
+                ));
+            }
+            EventKind::Instant => {
+                out.push_str(&format!(
+                    "{{\"name\":{},\"cat\":{},\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts_us},\"pid\":{},\"tid\":{}}}",
+                    json_str(ev.name),
+                    json_str(ev.cat),
+                    ev.pid,
+                    ev.tid
+                ));
+            }
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\",\"otherData\":{\"clock\":\"virtual-SimNs\",\"droppedEvents\":");
+    out.push_str(&dropped_total.to_string());
+    out.push_str("}}");
+    out
+}
+
+fn push_meta(
+    out: &mut String,
+    first: &mut bool,
+    kind: &str,
+    pid: u32,
+    tid: Option<u32>,
+    name: &str,
+) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    let tid = tid.unwrap_or(0);
+    out.push_str(&format!(
+        "{{\"name\":\"{kind}\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":{}}}}}",
+        json_str(name)
+    ));
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_is_bounded_and_counts_drops() {
+        let rec = SpanRecorder::with_flag(Arc::new(AtomicBool::new(true)), 0, 4);
+        for i in 0..10u64 {
+            rec.span("t", "s", 0, i, i + 1);
+        }
+        assert_eq!(rec.len(), 4);
+        assert_eq!(rec.dropped(), 6);
+        rec.reset();
+        assert_eq!(rec.len(), 0);
+        assert_eq!(rec.dropped(), 0);
+    }
+
+    #[test]
+    fn begin_end_records_duration() {
+        let rec = SpanRecorder::new(3);
+        let s = rec.begin("core", "flush", 1, 100);
+        rec.end(s, 350);
+        let evs = rec.snapshot();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].pid, 3);
+        assert_eq!(evs[0].tid, 1);
+        assert_eq!(evs[0].ts, 100);
+        assert_eq!(evs[0].kind, EventKind::Complete { dur: 250 });
+    }
+
+    #[test]
+    fn disabled_recorder_stores_nothing() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let rec = SpanRecorder::with_flag(flag.clone(), 0, 16);
+        rec.span("t", "s", 0, 0, 10);
+        rec.instant("t", "i", 0, 5);
+        assert!(rec.is_empty());
+        flag.store(true, Ordering::Relaxed);
+        rec.span("t", "s", 0, 0, 10);
+        assert_eq!(rec.len(), 1);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+}

@@ -91,9 +91,6 @@ fn main() {
         report.coverage_permille % 10
     );
     println!("PKV: construction {} + traversal {}", fmt_sim(pkv_construct), fmt_sim(pkv_traverse));
-    println!(
-        "UPC: total {} (one-sided RDMA baseline, same contigs)",
-        fmt_sim(upc_total)
-    );
+    println!("UPC: total {} (one-sided RDMA baseline, same contigs)", fmt_sim(upc_total));
     println!("PapyrusKV port and UPC baseline agree — check_results.sh OK");
 }

@@ -29,10 +29,7 @@ pub fn fmt_sim(ns: SimNs) -> String {
 
 /// Parse the first CLI argument as a rank count, with a default.
 pub fn ranks_from_args(default: usize) -> usize {
-    std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(default)
+    std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(default)
 }
 
 #[cfg(test)]

@@ -5,7 +5,6 @@
 //! (fence/barrier/consistency/protect/signals), and persistence
 //! (checkpoint/restart/destroy/wait).
 
-
 use papyrus_examples::{fmt_sim, ranks_from_args};
 use papyrus_mpi::{World, WorldConfig};
 use papyrus_nvm::SystemProfile;
@@ -46,10 +45,7 @@ fn main() {
         // Deletes are tombstone puts.
         db.delete(format!("rank{me}-key0").as_bytes()).unwrap();
         db.barrier(BarrierLevel::MemTable).unwrap();
-        assert_eq!(
-            db.get(format!("rank{me}-key0").as_bytes()).unwrap_err(),
-            Error::NotFound
-        );
+        assert_eq!(db.get(format!("rank{me}-key0").as_bytes()).unwrap_err(), Error::NotFound);
 
         // Switch to sequential consistency: remote puts become synchronous,
         // so signal-ordered rank pairs need no barrier.

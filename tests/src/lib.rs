@@ -5,6 +5,8 @@
 //! (`papyruskv`), the baselines (`mdhim`, `papyrus-dsm`), and the
 //! application (`meraculous`).
 
+pub mod json;
+
 /// Deterministic keys shared by several scenarios: `k<rank>-<i>`.
 pub fn scenario_key(rank: usize, i: usize) -> Vec<u8> {
     format!("k{rank}-{i:05}").into_bytes()

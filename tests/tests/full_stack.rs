@@ -35,10 +35,7 @@ fn fill_then_read(profile: SystemProfile, n: usize, iters: usize, vallen: usize)
         ctx.finalize().unwrap();
         (t1 - t0, t3 - t2)
     });
-    (
-        out.iter().map(|o| o.0).max().unwrap(),
-        out.iter().map(|o| o.1).max().unwrap(),
-    )
+    (out.iter().map(|o| o.0).max().unwrap(), out.iter().map(|o| o.1).max().unwrap())
 }
 
 #[test]
@@ -127,7 +124,11 @@ fn papyruskv_and_mdhim_agree_on_data() {
     World::run(WorldConfig::for_tests(3), move |rank| {
         let ctx = Context::init(rank.clone(), platform.clone(), "nvm://agree").unwrap();
         let db = ctx
-            .open("db", OpenFlags::create(), Options::small().with_consistency(Consistency::Sequential))
+            .open(
+                "db",
+                OpenFlags::create(),
+                Options::small().with_consistency(Consistency::Sequential),
+            )
             .unwrap();
         let mut mdh = mdhim::Mdhim::init(
             rank.clone(),

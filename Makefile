@@ -1,6 +1,6 @@
 # Convenience targets mirroring what CI runs.
 
-.PHONY: build test fmt clippy verify trace clean
+.PHONY: build test fmt clippy lint sanity verify trace clean
 
 build:
 	cargo build --release --workspace
@@ -12,10 +12,20 @@ fmt:
 	cargo fmt --all --check
 
 clippy:
-	cargo clippy --workspace --all-targets
+	cargo clippy --workspace --all-targets -- -D warnings
+
+# Protocol lint: repo-specific static checks (lock discipline, protocol
+# hygiene) over the source tree. Blocking in CI.
+lint:
+	cargo xtask lint
+
+# Full test suite with the runtime sanity layer armed: lock-order checking,
+# MPI happens-before / protocol monitoring, deadlock detection.
+sanity:
+	PAPYRUS_SANITY=1 cargo test -q --release --workspace
 
 # The tier-1 gate: everything CI requires to pass, in one command.
-verify: build test fmt
+verify: build test fmt clippy lint
 	@echo "verify: OK"
 
 # Quick observability smoke: writes trace.json (chrome://tracing / Perfetto).

@@ -119,11 +119,11 @@ pub struct BenchArgs {
 impl BenchArgs {
     /// Parse from `std::env::args`.
     pub fn parse() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        Self::from_args(std::env::args().skip(1))
     }
 
     /// Parse from an explicit iterator (tests).
-    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Self {
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> Self {
         let mut out = Self { full: false, iters: None, ranks: None, seed: 0x5EED, telemetry: None };
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
@@ -192,9 +192,9 @@ impl BenchArgs {
 
 /// Human-readable value-size label (256B, 4KB, 1MB...).
 pub fn size_label(bytes: usize) -> String {
-    if bytes >= 1 << 20 && bytes % (1 << 20) == 0 {
+    if bytes >= 1 << 20 && bytes.is_multiple_of(1 << 20) {
         format!("{}MB", bytes >> 20)
-    } else if bytes >= 1 << 10 && bytes % (1 << 10) == 0 {
+    } else if bytes >= 1 << 10 && bytes.is_multiple_of(1 << 10) {
         format!("{}KB", bytes >> 10)
     } else {
         format!("{bytes}B")
@@ -242,7 +242,7 @@ mod tests {
 
     #[test]
     fn args_parse() {
-        let a = BenchArgs::from_iter(
+        let a = BenchArgs::from_args(
             ["--full", "--iters", "99", "--ranks", "1,2,4", "--seed", "7"].map(String::from),
         );
         assert!(a.full);
@@ -251,11 +251,11 @@ mod tests {
         assert_eq!(a.seed, 7);
         assert_eq!(a.iters_or(10, 100), 99);
 
-        let d = BenchArgs::from_iter(std::iter::empty());
+        let d = BenchArgs::from_args(std::iter::empty());
         assert!(!d.full);
         assert_eq!(d.iters_or(10, 100), 10);
         assert_eq!(d.ranks_or(&[1, 2], &[1, 2, 3]), vec![1, 2]);
-        let f = BenchArgs::from_iter(["--full".to_string()]);
+        let f = BenchArgs::from_args(["--full".to_string()]);
         assert_eq!(f.iters_or(10, 100), 100);
         assert_eq!(f.ranks_or(&[1, 2], &[1, 2, 3]), vec![1, 2, 3]);
     }

@@ -74,8 +74,10 @@ pub struct papyruskv_option_t {
 }
 
 /// Database descriptor (`papyruskv_db_t`).
+#[allow(non_camel_case_types)]
 pub type papyruskv_db_t = i32;
 /// Event descriptor (`papyruskv_event_t`).
+#[allow(non_camel_case_types)]
 pub type papyruskv_event_t = i32;
 
 fn code_of(e: &Error) -> i32 {

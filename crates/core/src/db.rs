@@ -327,7 +327,7 @@ pub(crate) fn run_flush(ctx: &CtxInner, db: &Arc<DbInner>, mt: Arc<MemTable>, st
     // Merge compaction "whenever the SSID of a new SSTable is a multiple of
     // the predefined number" (§2.5).
     let trigger = db.opt.compaction_trigger;
-    if trigger > 0 && ssid % trigger == 0 && db.ssts.read().len() > 1 {
+    if trigger > 0 && ssid.is_multiple_of(trigger) && db.ssts.read().len() > 1 {
         run_merge_compaction(ctx, db, done);
     }
 
@@ -694,7 +694,25 @@ pub(crate) fn close_inner(ctx: &Arc<CtxInner>, db: &Arc<DbInner>) -> Result<()> 
         return Ok(());
     }
     barrier_inner(ctx, db, BarrierLevel::SsTable)?;
-    db.sync.lock().closed = true;
+    let mut sync = db.sync.lock();
+    if papyrus_sanity::enabled() {
+        // After the close barrier every epoch this rank entered has
+        // completed, so any mark entry for an already-completed epoch means
+        // a reconciliation round failed to consume exactly n marks.
+        let epoch = db.barrier_epoch.load(Ordering::SeqCst);
+        for (&e, &(count, _)) in sync.barrier_marks.iter().filter(|(&e, _)| e < epoch) {
+            papyrus_sanity::record_violation(
+                papyrus_sanity::ViolationKind::BarrierEpochMismatch,
+                format!(
+                    "db {}: rank {} closing with leftover barrier marks for completed \
+                     epoch {e} (count {count})",
+                    db.name,
+                    ctx.rank.rank()
+                ),
+            );
+        }
+    }
+    sync.closed = true;
     Ok(())
 }
 
@@ -800,6 +818,11 @@ impl std::fmt::Debug for Db {
 impl Db {
     pub(crate) fn new(ctx: Arc<CtxInner>, inner: Arc<DbInner>) -> Self {
         Self { ctx, inner }
+    }
+
+    /// Internal handles for the invariant auditor (`crate::sanity`).
+    pub(crate) fn sanity_parts(&self) -> (&Arc<CtxInner>, &Arc<DbInner>) {
+        (&self.ctx, &self.inner)
     }
 
     /// Database name.

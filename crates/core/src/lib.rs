@@ -75,6 +75,7 @@ pub mod options;
 pub mod queue;
 pub mod rbtree;
 mod runtime;
+pub mod sanity;
 pub mod sstable;
 mod tel;
 

@@ -322,7 +322,7 @@ mod tests {
             c.insert(k.as_bytes(), entry(&i.to_le_bytes()));
             assert!(c.bytes() <= 1000);
         }
-        assert!(c.len() > 0);
+        assert!(!c.is_empty());
         // Recency: the most recently inserted key (i = 9999 -> 9999 % 300)
         // must be present.
         assert!(c.peek(b"key-99").is_some());

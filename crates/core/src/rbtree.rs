@@ -594,7 +594,7 @@ mod tests {
         for _ in 0..4000 {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             let k = format!("{:03}", (x >> 33) % 500);
-            if (x >> 20) % 3 == 0 {
+            if (x >> 20).is_multiple_of(3) {
                 assert_eq!(t.remove(k.as_bytes()), model.remove(k.as_bytes()));
             } else {
                 let v = (x % 1000) as u32;

@@ -156,10 +156,12 @@ impl Event {
     /// its completion stamp into the rank clock, and return the stamp.
     pub fn wait(&self) -> SimNs {
         let mut g = self.inner.done.lock();
-        while g.is_none() {
+        let stamp = loop {
+            if let Some(stamp) = *g {
+                break stamp;
+            }
             self.inner.cv.wait(&mut g);
-        }
-        let stamp = g.unwrap();
+        };
         drop(g);
         self.clock.merge(stamp);
         stamp
@@ -308,6 +310,8 @@ impl Context {
             finalized: AtomicBool::new(false),
         });
 
+        let spawn_err =
+            |what: &str, e: std::io::Error| Error::Internal(format!("spawn {what} thread: {e}"));
         let mut threads = Vec::with_capacity(3);
         {
             let ctx = inner.clone();
@@ -316,7 +320,7 @@ impl Context {
                     .name(format!("pkv-compact-{}", inner.rank.rank()))
                     .stack_size(1 << 20)
                     .spawn(move || compaction_thread(ctx))
-                    .expect("spawn compaction thread"),
+                    .map_err(|e| spawn_err("compaction", e))?,
             );
         }
         {
@@ -326,7 +330,7 @@ impl Context {
                     .name(format!("pkv-dispatch-{}", inner.rank.rank()))
                     .stack_size(1 << 20)
                     .spawn(move || dispatcher_thread(ctx))
-                    .expect("spawn dispatcher thread"),
+                    .map_err(|e| spawn_err("dispatcher", e))?,
             );
         }
         {
@@ -336,7 +340,7 @@ impl Context {
                     .name(format!("pkv-handler-{}", inner.rank.rank()))
                     .stack_size(1 << 20)
                     .spawn(move || handler_thread(ctx))
-                    .expect("spawn handler thread"),
+                    .map_err(|e| spawn_err("handler", e))?,
             );
         }
         *inner.threads.lock() = threads;

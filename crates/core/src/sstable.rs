@@ -31,6 +31,9 @@ use crate::memtable::Entry;
 /// Per-database, per-rank, unique increasing SSTable number, starting at 1.
 pub type Ssid = u64;
 
+/// Parsed SSTable records: (key, entry) pairs in file order.
+pub type Records = Vec<(Vec<u8>, Entry)>;
+
 const RECORD_HEADER: u64 = 9; // keylen u32 + vallen u32 + tombstone u8
 
 /// Outcome of searching one SSTable for a key.
@@ -264,7 +267,7 @@ impl SstReader {
 
     /// Sequentially read and parse every record (compaction, restart with
     /// redistribution). Charges one full sequential read.
-    pub fn scan_all_at(&self, now: SimNs) -> Result<(Vec<(Vec<u8>, Entry)>, SimNs)> {
+    pub fn scan_all_at(&self, now: SimNs) -> Result<(Records, SimNs)> {
         let (data_path, _, _) = paths(&self.base);
         let Some(data) = self.store.backend().get_all(&data_path) else {
             return Err(Error::Internal(format!("SSData missing: {data_path}")));
@@ -286,6 +289,31 @@ impl SstReader {
             out.push((key, Entry { value, tombstone: tomb, owner: crate::memtable::NO_OWNER }));
         }
         Ok((out, t))
+    }
+
+    /// Read and parse every record WITHOUT charging virtual time — for the
+    /// `papyruskv::sanity` auditor, which must observe the store without
+    /// perturbing the simulation's cost model. `None` on missing/corrupt
+    /// SSData (the auditor reports that as a finding, not a panic).
+    pub fn records_uncharged(&self) -> Option<Records> {
+        let (data_path, _, _) = paths(&self.base);
+        let data = self.store.backend().get_all(&data_path)?;
+        let mut out = Vec::with_capacity(self.offsets.len());
+        let mut pos = 0usize;
+        while pos + RECORD_HEADER as usize <= data.len() {
+            let keylen = u32::from_le_bytes(data[pos..pos + 4].try_into().ok()?) as usize;
+            let vallen = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().ok()?) as usize;
+            let tomb = data[pos + 8] != 0;
+            pos += RECORD_HEADER as usize;
+            if pos + keylen + vallen > data.len() {
+                return None;
+            }
+            let key = data[pos..pos + keylen].to_vec();
+            let value = data.slice(pos + keylen..pos + keylen + vallen);
+            pos += keylen + vallen;
+            out.push((key, Entry { value, tombstone: tomb, owner: crate::memtable::NO_OWNER }));
+        }
+        Some(out)
     }
 
     /// Delete this SSTable's three files starting at `now` (post-compaction

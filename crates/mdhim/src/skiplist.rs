@@ -120,8 +120,8 @@ impl SkipList {
         }
         let lvl = self.random_level();
         if lvl > self.level {
-            for l in self.level..lvl {
-                update[l] = NIL;
+            for u in update.iter_mut().take(lvl).skip(self.level) {
+                *u = NIL;
             }
             self.level = lvl;
         }
@@ -132,8 +132,8 @@ impl SkipList {
         }
         self.bytes += key.len() as u64 + value.as_ref().map_or(0, |v| v.len() as u64);
         self.nodes.push(Node { key: key.to_vec(), value, next });
-        for l in 0..lvl {
-            self.set_fwd(update[l], l, idx);
+        for (l, &u) in update.iter().enumerate().take(lvl) {
+            self.set_fwd(u, l, idx);
         }
         self.len += 1;
     }
@@ -270,7 +270,7 @@ mod tests {
         for _ in 0..5000 {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
             let k = format!("{:04}", (x >> 30) % 800);
-            if (x >> 10) % 4 == 0 {
+            if (x >> 10).is_multiple_of(4) {
                 s.insert(k.as_bytes(), None);
                 model.insert(k, None);
             } else {

@@ -116,8 +116,11 @@ impl Communicator {
         let now = clock.advance(self.fabric.net().msg_latency / 4);
         let stamp = self.fabric.wire_stamp(self.me_world, dst_world, payload.len() as u64, now);
         self.fabric.tel(self.me_world).on_send(payload.len() as u64, now, stamp);
-        self.fabric
-            .deliver(dst_world, Envelope { comm: self.id, src: self.me, tag, stamp, payload });
+        let sanity = self.fabric.monitor().on_send(self.id, self.me_world, dst_world, tag);
+        self.fabric.deliver(
+            dst_world,
+            Envelope { comm: self.id, src: self.me, tag, stamp, payload, sanity },
+        );
     }
 
     /// Timestamp-explicit send for background threads (PapyrusKV's message
@@ -129,8 +132,11 @@ impl Communicator {
         let dst_world = self.record.members[dst];
         let stamp = self.fabric.wire_stamp(self.me_world, dst_world, payload.len() as u64, now);
         self.fabric.tel(self.me_world).on_send(payload.len() as u64, now, stamp);
-        self.fabric
-            .deliver(dst_world, Envelope { comm: self.id, src: self.me, tag, stamp, payload });
+        let sanity = self.fabric.monitor().on_send(self.id, self.me_world, dst_world, tag);
+        self.fabric.deliver(
+            dst_world,
+            Envelope { comm: self.id, src: self.me, tag, stamp, payload, sanity },
+        );
         stamp
     }
 
@@ -189,6 +195,7 @@ impl Communicator {
         let (bufs, stamp) =
             self.record.collective.allgather(n, self.me, contribution, clock.now(), cost);
         clock.merge(stamp);
+        self.fabric.monitor().on_collective(self.me_world, &self.record.members);
         bufs
     }
 

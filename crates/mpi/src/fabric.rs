@@ -9,6 +9,7 @@ use papyrus_simtime::{transfer_ns, Clock, NetModel, Resource, SimNs};
 use papyrus_telemetry::{Counter, Gauge, Histogram, SpanRecorder, TID_APP};
 use parking_lot::{Condvar, Mutex};
 
+use crate::sanity::{ProtoMonitor, SanityStamp};
 use crate::{Rank, Tag};
 
 /// Per-rank channel telemetry: message/byte counts in both directions,
@@ -80,6 +81,8 @@ pub(crate) struct Envelope {
     /// Virtual arrival timestamp (sender clock + NIC queueing + wire time).
     pub stamp: SimNs,
     pub payload: Bytes,
+    /// Happens-before metadata; `Some` only while `PAPYRUS_SANITY` is on.
+    pub sanity: Option<SanityStamp>,
 }
 
 #[derive(Default)]
@@ -141,18 +144,25 @@ impl CollectiveState {
         g.max_stamp = g.max_stamp.max(stamp);
         g.arrived += 1;
         if g.arrived == n {
-            let bufs: Vec<Vec<u8>> = g.bufs.iter_mut().map(|b| b.take().unwrap()).collect();
+            // Every slot was filled by an arrival; filter_map rather than
+            // unwrap so a protocol bug cannot panic a handler thread.
+            let bufs: Vec<Vec<u8>> = g.bufs.iter_mut().filter_map(|b| b.take()).collect();
             let release_stamp = g.max_stamp + cost;
             g.released = Some((Arc::new(bufs), release_stamp));
             g.consumed = 0;
             self.cv.notify_all();
-        } else {
-            while g.released.is_none() {
-                self.cv.wait(&mut g);
-            }
         }
-        // Phase 2: consume; the last consumer resets for the next round.
-        let out = g.released.clone().expect("collective released without result");
+        // Phase 2: wait for the release (the releasing member falls straight
+        // through), then consume; the last consumer resets for the next
+        // round. The reset cannot race a member still waiting here: it
+        // requires all n members to have consumed, which requires each to
+        // have seen `released` as `Some`.
+        let out = loop {
+            if let Some(out) = g.released.clone() {
+                break out;
+            }
+            self.cv.wait(&mut g);
+        };
         g.consumed += 1;
         if g.consumed == n {
             g.released = None;
@@ -170,6 +180,10 @@ pub(crate) struct CommRecord {
     pub members: Arc<Vec<Rank>>,
     pub collective: Arc<CollectiveState>,
 }
+
+/// Child-comm registry: (parent id, per-parent sequence number,
+/// discriminator) -> created (comm id, record).
+type ChildComms = HashMap<(CommId, u64, u64), (CommId, Arc<CommRecord>)>;
 
 /// The shared fabric connecting all ranks of a [`crate::World`].
 ///
@@ -191,13 +205,18 @@ pub struct Fabric {
     backbone_links: u32,
     clocks: Vec<Clock>,
     tel: Vec<RankNetTel>,
+    /// Protocol monitor (vector clocks, channel counters, deadlock watch).
+    /// Always allocated; every hook self-gates on `papyrus_sanity::enabled()`.
+    sanity: ProtoMonitor,
+    /// The world communicator (comm id 0), also present in `comms`.
+    world_record: Arc<CommRecord>,
     comms: Mutex<HashMap<CommId, Arc<CommRecord>>>,
     /// Deterministic child-comm registry: (parent id, per-parent sequence
     /// number, discriminator) -> created record. SPMD programs create comms
     /// in the same order on every rank, so the first arrival creates and the
     /// rest join. The discriminator separates `dup` from the per-color
     /// children of a `split` at the same sequence number.
-    children: Mutex<HashMap<(CommId, u64, u64), (CommId, Arc<CommRecord>)>>,
+    children: Mutex<ChildComms>,
     next_comm_id: Mutex<CommId>,
 }
 
@@ -210,7 +229,14 @@ impl Fabric {
         // all-to-all capacity seen by one job is well below the sum of its
         // link rates.
         let backbone_links = (n as u32 / 8).max(1);
-        let fabric = Self {
+        // The world communicator, registered as id 0.
+        let world = Arc::new(CommRecord {
+            members: Arc::new((0..n).collect()),
+            collective: Arc::new(CollectiveState::new(n)),
+        });
+        let mut comms = HashMap::new();
+        comms.insert(0, world.clone());
+        Arc::new(Self {
             n,
             net,
             mailboxes: (0..n).map(|_| Mailbox::default()).collect(),
@@ -220,18 +246,12 @@ impl Fabric {
             backbone_links,
             clocks: (0..n).map(|_| Clock::new()).collect(),
             tel: (0..n).map(RankNetTel::new).collect(),
-            comms: Mutex::new(HashMap::new()),
+            sanity: ProtoMonitor::new(n),
+            world_record: world,
+            comms: Mutex::new(comms),
             children: Mutex::new(HashMap::new()),
             next_comm_id: Mutex::new(1),
-        };
-        let arc = Arc::new(fabric);
-        // Register the world communicator as id 0.
-        let world = Arc::new(CommRecord {
-            members: Arc::new((0..n).collect()),
-            collective: Arc::new(CollectiveState::new(n)),
-        });
-        arc.comms.lock().insert(0, world);
-        arc
+        })
     }
 
     /// Number of ranks in the world.
@@ -250,7 +270,7 @@ impl Fabric {
     }
 
     pub(crate) fn world_comm(&self) -> (CommId, Arc<CommRecord>) {
-        (0, self.comms.lock().get(&0).unwrap().clone())
+        (0, self.world_record.clone())
     }
 
     /// Create-or-join a child communicator. `members` must be identical on
@@ -293,7 +313,7 @@ impl Fabric {
             // Intra-rank delivery: loopback, just the software latency.
             return now + self.net.msg_latency / 4;
         }
-        let t = transfer_ns(bytes as u64, self.net.bandwidth);
+        let t = transfer_ns(bytes, self.net.bandwidth);
         let tx_done = self.nic_tx[src].submit(now, t);
         let tx_start = tx_done - t;
         // The message then traverses the shared switch fabric (occupying a
@@ -318,7 +338,13 @@ impl Fabric {
             q.len()
         };
         self.tel[dst_world].on_deliver(depth);
+        self.sanity.on_deliver();
         mb.cv.notify_all();
+    }
+
+    /// World rank backing a comm rank, if the communicator is known.
+    fn comm_member_world(&self, comm: CommId, comm_rank: Rank) -> Option<Rank> {
+        self.comms.lock().get(&comm).and_then(|r| r.members.get(comm_rank).copied())
     }
 
     /// Blocking receive with wildcards; returns the first (FIFO) envelope on
@@ -331,17 +357,47 @@ impl Fabric {
         tag: Option<Tag>,
     ) -> Envelope {
         let mb = &self.mailboxes[me_world];
-        let mut q = mb.queue.lock();
-        loop {
-            if let Some(pos) = q.iter().position(|e| {
-                e.comm == comm && src.is_none_or(|s| e.src == s) && tag.is_none_or(|t| e.tag == t)
-            }) {
-                let env = q.remove(pos).unwrap();
-                self.tel[me_world].on_recv(env.payload.len() as u64, q.len());
-                return env;
-            }
-            mb.cv.wait(&mut q);
+        let monitored = papyrus_sanity::enabled();
+        if monitored {
+            // Register the wait-for edge before blocking so peer ranks can
+            // see it; a wildcard-source receive contributes no edge.
+            let src_world = src.and_then(|s| self.comm_member_world(comm, s));
+            self.sanity.block(me_world, comm, src_world, tag);
         }
+        let mut stall: Option<(u64, Vec<Rank>)> = None;
+        let mut q = mb.queue.lock();
+        let (env, depth) = loop {
+            let pos = q.iter().position(|e| {
+                e.comm == comm && src.is_none_or(|s| e.src == s) && tag.is_none_or(|t| e.tag == t)
+            });
+            if let Some(env) = pos.and_then(|p| q.remove(p)) {
+                break (env, q.len());
+            }
+            if monitored {
+                if mb.cv.wait_for(&mut q, std::time::Duration::from_millis(50)).timed_out() {
+                    if let Some(detail) = self.sanity.check_stalled(me_world, &mut stall) {
+                        // Deliberately do NOT unblock: the other members of
+                        // the confirmed cycle still need to see this edge to
+                        // diagnose the same cycle and escape their waits.
+                        drop(q);
+                        panic!("papyrus-sanity[wait-cycle]: {detail}");
+                    }
+                }
+            } else {
+                mb.cv.wait(&mut q);
+            }
+        };
+        // Monitor hooks run after the queue lock is released: they take the
+        // monitor's own locks and must not nest under the mailbox lock.
+        drop(q);
+        if monitored {
+            self.sanity.unblock(me_world);
+            if let Some(stamp) = &env.sanity {
+                self.sanity.on_recv(me_world, comm, env.tag, stamp);
+            }
+        }
+        self.tel[me_world].on_recv(env.payload.len() as u64, depth);
+        env
     }
 
     /// Non-blocking receive; `None` if nothing matches right now.
@@ -353,16 +409,22 @@ impl Fabric {
         tag: Option<Tag>,
     ) -> Option<Envelope> {
         let mb = &self.mailboxes[me_world];
-        let mut q = mb.queue.lock();
-        q.iter()
-            .position(|e| {
+        let (env, depth) = {
+            let mut q = mb.queue.lock();
+            let pos = q.iter().position(|e| {
                 e.comm == comm && src.is_none_or(|s| e.src == s) && tag.is_none_or(|t| e.tag == t)
-            })
-            .map(|pos| {
-                let env = q.remove(pos).unwrap();
-                self.tel[me_world].on_recv(env.payload.len() as u64, q.len());
-                env
-            })
+            })?;
+            let env = q.remove(pos)?;
+            let depth = q.len();
+            (env, depth)
+        };
+        if papyrus_sanity::enabled() {
+            if let Some(stamp) = &env.sanity {
+                self.sanity.on_recv(me_world, comm, env.tag, stamp);
+            }
+        }
+        self.tel[me_world].on_recv(env.payload.len() as u64, depth);
+        Some(env)
     }
 
     /// Count of undelivered messages in a rank's mailbox (diagnostics).
@@ -370,11 +432,50 @@ impl Fabric {
         self.mailboxes[world_rank].queue.lock().len()
     }
 
+    /// The protocol monitor (hooked by [`crate::Communicator`]).
+    pub(crate) fn monitor(&self) -> &ProtoMonitor {
+        &self.sanity
+    }
+
+    /// Snapshot of a rank's happens-before vector clock, indexed by world
+    /// rank. Empty unless `PAPYRUS_SANITY` is on.
+    pub fn sanity_clock(&self, world_rank: Rank) -> Vec<u64> {
+        if !papyrus_sanity::enabled() {
+            return Vec::new();
+        }
+        self.sanity.clock_of(world_rank).components().to_vec()
+    }
+
+    /// End-of-job protocol audit: unmatched sends (per-channel send/recv
+    /// counts disagree) and tag leaks (envelopes still queued in a mailbox).
+    /// Records violations in the global sanity registry and returns the
+    /// rendered problems; empty (and free) when the gate is off.
+    pub fn sanity_finalize(&self) -> Vec<String> {
+        if !papyrus_sanity::enabled() {
+            return Vec::new();
+        }
+        let mut problems = self.sanity.finalize_channels();
+        for (rank, mb) in self.mailboxes.iter().enumerate() {
+            for env in mb.queue.lock().iter() {
+                let p = format!(
+                    "tag leak: rank {rank} mailbox still holds comm {} src {} tag {} \
+                     ({} bytes) at finalize",
+                    env.comm,
+                    env.src,
+                    env.tag,
+                    env.payload.len()
+                );
+                papyrus_sanity::record_violation(papyrus_sanity::ViolationKind::TagLeak, p.clone());
+                problems.push(p);
+            }
+        }
+        problems
+    }
+
     /// Collective synchronisation cost for an `n`-member operation:
     /// a tree of message latencies down and up.
     pub(crate) fn collective_cost(&self, n: usize) -> SimNs {
-        let depth =
-            usize::BITS - n.next_power_of_two().trailing_zeros().min(usize::BITS - 1) as u32;
+        let depth = usize::BITS - n.next_power_of_two().trailing_zeros().min(usize::BITS - 1);
         let log2 = if n <= 1 { 0 } else { (n as f64).log2().ceil() as u64 };
         let _ = depth;
         2 * log2 * self.net.msg_latency
@@ -395,7 +496,14 @@ mod tests {
         let f = fabric(2);
         f.deliver(
             1,
-            Envelope { comm: 0, src: 0, tag: 7, stamp: 123, payload: Bytes::from_static(b"hi") },
+            Envelope {
+                comm: 0,
+                src: 0,
+                tag: 7,
+                stamp: 123,
+                payload: Bytes::from_static(b"hi"),
+                sanity: None,
+            },
         );
         let e = f.recv(1, 0, None, None);
         assert_eq!(e.src, 0);
@@ -407,7 +515,10 @@ mod tests {
     fn recv_filters_by_tag() {
         let f = fabric(1);
         for tag in [1u32, 2, 3] {
-            f.deliver(0, Envelope { comm: 0, src: 0, tag, stamp: 0, payload: Bytes::new() });
+            f.deliver(
+                0,
+                Envelope { comm: 0, src: 0, tag, stamp: 0, payload: Bytes::new(), sanity: None },
+            );
         }
         let e = f.recv(0, 0, None, Some(2));
         assert_eq!(e.tag, 2);
@@ -419,8 +530,14 @@ mod tests {
     #[test]
     fn recv_filters_by_src_and_comm() {
         let f = fabric(4);
-        f.deliver(0, Envelope { comm: 5, src: 2, tag: 0, stamp: 0, payload: Bytes::new() });
-        f.deliver(0, Envelope { comm: 0, src: 3, tag: 0, stamp: 0, payload: Bytes::new() });
+        f.deliver(
+            0,
+            Envelope { comm: 5, src: 2, tag: 0, stamp: 0, payload: Bytes::new(), sanity: None },
+        );
+        f.deliver(
+            0,
+            Envelope { comm: 0, src: 3, tag: 0, stamp: 0, payload: Bytes::new(), sanity: None },
+        );
         assert!(f.try_recv(0, 0, Some(2), None).is_none());
         assert!(f.try_recv(0, 5, Some(2), None).is_some());
         assert!(f.try_recv(0, 0, Some(3), None).is_some());
@@ -479,7 +596,10 @@ mod tests {
         let f2 = f.clone();
         let h = std::thread::spawn(move || f2.recv(0, 0, Some(1), Some(9)).stamp);
         std::thread::sleep(std::time::Duration::from_millis(20));
-        f.deliver(0, Envelope { comm: 0, src: 1, tag: 9, stamp: 555, payload: Bytes::new() });
+        f.deliver(
+            0,
+            Envelope { comm: 0, src: 1, tag: 9, stamp: 555, payload: Bytes::new(), sanity: None },
+        );
         assert_eq!(h.join().unwrap(), 555);
     }
 

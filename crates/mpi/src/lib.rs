@@ -25,6 +25,7 @@
 
 mod comm;
 mod fabric;
+mod sanity;
 mod world;
 
 pub use comm::{Communicator, Message, RecvSrc, RecvTag};

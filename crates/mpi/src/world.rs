@@ -62,7 +62,7 @@ impl World {
                     .expect("failed to spawn rank thread")
             })
             .collect();
-        handles
+        let out: Vec<T> = handles
             .into_iter()
             .enumerate()
             .map(|(rank, h)| match h.join() {
@@ -76,7 +76,15 @@ impl World {
                     panic!("rank {rank} panicked: {msg}")
                 }
             })
-            .collect()
+            .collect();
+        // Protocol audit once every rank has exited cleanly: unmatched sends
+        // and tag leaks become a job failure under PAPYRUS_SANITY (the call
+        // is free and empty when the gate is off).
+        let problems = fabric.sanity_finalize();
+        if !problems.is_empty() {
+            panic!("papyrus-sanity: protocol violations at finalize:\n{}", problems.join("\n"));
+        }
+        out
     }
 }
 

@@ -1,0 +1,80 @@
+//! Happens-before tracking through the fabric: vector clocks must order a
+//! send chain transitively across 4 ranks.
+//!
+//! Own integration-test binary: it force-enables the global sanity gate.
+
+use bytes::Bytes;
+use papyrus_mpi::{RecvSrc, RecvTag, World, WorldConfig};
+use papyrus_sanity::vclock::VectorClock;
+
+#[test]
+fn send_chain_orders_transitively_across_four_ranks() {
+    papyrus_sanity::force_enable();
+
+    // Rank 0 -> 1 -> 2 -> 3; each rank snapshots its clock right after its
+    // chain event (send for 0, recv for the rest).
+    let snaps = World::run(WorldConfig::for_tests(4), |ctx| {
+        let w = ctx.world();
+        let me = ctx.rank();
+        if me == 0 {
+            w.send(1, 42, Bytes::from_static(b"hop"));
+        } else {
+            let m = w.recv(RecvSrc::Rank(me - 1), RecvTag::Tag(42));
+            if me < 3 {
+                w.send(me + 1, 42, m.payload);
+            }
+        }
+        ctx.fabric().sanity_clock(me)
+    });
+
+    let clocks: Vec<VectorClock> =
+        snaps.iter().map(|c| VectorClock::from_components(c.clone())).collect();
+
+    // Every hop happened-before every later hop — including the transitive
+    // pair (0, 3) that never exchanged a message directly.
+    for i in 0..4 {
+        for j in (i + 1)..4 {
+            assert!(
+                clocks[i].happens_before(&clocks[j]),
+                "rank {i} snapshot {:?} must happen-before rank {j} snapshot {:?}",
+                clocks[i],
+                clocks[j],
+            );
+        }
+    }
+}
+
+#[test]
+fn independent_ranks_are_concurrent_until_a_barrier_orders_them() {
+    papyrus_sanity::force_enable();
+
+    let (before, after) = {
+        let out = World::run(WorldConfig::for_tests(2), |ctx| {
+            let w = ctx.world();
+            // Phase 1: each rank does one local send-to-self so its clock
+            // has a private event, with no cross-rank traffic.
+            w.send(ctx.rank(), 7, Bytes::from_static(b"self"));
+            w.recv(RecvSrc::Rank(ctx.rank()), RecvTag::Tag(7));
+            let before = ctx.fabric().sanity_clock(ctx.rank());
+            // Phase 2: a barrier synchronises everyone.
+            w.barrier();
+            let after = ctx.fabric().sanity_clock(ctx.rank());
+            (before, after)
+        });
+        (
+            out.iter().map(|(b, _)| VectorClock::from_components(b.clone())).collect::<Vec<_>>(),
+            out.iter().map(|(_, a)| VectorClock::from_components(a.clone())).collect::<Vec<_>>(),
+        )
+    };
+
+    assert!(
+        before[0].concurrent(&before[1]),
+        "pre-barrier snapshots must be concurrent: {:?} vs {:?}",
+        before[0],
+        before[1],
+    );
+    // The barrier orders each rank's pre-barrier state before the *other*
+    // rank's post-barrier state.
+    assert!(before[0].happens_before(&after[1]));
+    assert!(before[1].happens_before(&after[0]));
+}

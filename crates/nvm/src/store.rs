@@ -112,7 +112,7 @@ impl NvmStore {
 
     /// A store with an explicit backend.
     pub fn with_backend(device: DeviceModel, backend: Arc<dyn Backend>) -> Self {
-        let tel = Arc::new(StoreTel::new(&device.name));
+        let tel = Arc::new(StoreTel::new(device.name));
         Self { device, queue: Resource::new(), backend, tel }
     }
 

@@ -1,0 +1,146 @@
+//! Vector clocks for happens-before tracking across fabric ranks.
+//!
+//! One component per rank. A rank ticks its own component on every send,
+//! stamps the outgoing message with a snapshot, and merges (component-wise
+//! max, then tick) on receive. Collectives merge all participants to a
+//! common frontier. `papyrus-mpi`'s protocol monitor owns the per-rank
+//! clocks; this module is just the clock algebra, kept here so core-side
+//! audits and tests can reason about orderings without depending on the
+//! fabric.
+
+/// A fixed-width vector clock (one `u64` component per rank).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectorClock {
+    components: Vec<u64>,
+}
+
+impl VectorClock {
+    /// Zero clock for `n` ranks.
+    pub fn new(n: usize) -> Self {
+        Self { components: vec![0; n] }
+    }
+
+    /// Build from raw components.
+    pub fn from_components(components: Vec<u64>) -> Self {
+        Self { components }
+    }
+
+    /// Number of ranks this clock covers.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether the clock covers zero ranks.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Component for `rank` (0 when out of range).
+    pub fn get(&self, rank: usize) -> u64 {
+        self.components.get(rank).copied().unwrap_or(0)
+    }
+
+    /// Raw components.
+    pub fn components(&self) -> &[u64] {
+        &self.components
+    }
+
+    /// Advance `rank`'s own component (a local event: a send).
+    pub fn tick(&mut self, rank: usize) {
+        if let Some(c) = self.components.get_mut(rank) {
+            *c += 1;
+        }
+    }
+
+    /// Component-wise max with `other` (message receive / collective).
+    pub fn merge(&mut self, other: &VectorClock) {
+        if self.components.len() < other.components.len() {
+            self.components.resize(other.components.len(), 0);
+        }
+        for (mine, theirs) in self.components.iter_mut().zip(&other.components) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// Strict happens-before: every component ≤ the other's and at least
+    /// one strictly <.
+    pub fn happens_before(&self, other: &VectorClock) -> bool {
+        let n = self.components.len().max(other.components.len());
+        let mut strictly_less = false;
+        for i in 0..n {
+            let a = self.get(i);
+            let b = other.get(i);
+            if a > b {
+                return false;
+            }
+            if a < b {
+                strictly_less = true;
+            }
+        }
+        strictly_less
+    }
+
+    /// Neither clock happens-before the other (and they differ).
+    pub fn concurrent(&self, other: &VectorClock) -> bool {
+        self != other && !self.happens_before(other) && !other.happens_before(self)
+    }
+
+    /// Compact rendering, e.g. `[2, 0, 5, 1]`.
+    pub fn render(&self) -> String {
+        format!("{:?}", self.components)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_and_merge() {
+        let mut a = VectorClock::new(3);
+        a.tick(0);
+        a.tick(0);
+        let mut b = VectorClock::new(3);
+        b.tick(1);
+        b.merge(&a);
+        assert_eq!(b.components(), &[2, 1, 0]);
+    }
+
+    #[test]
+    fn happens_before_is_strict_and_transitive() {
+        // a -> b -> c via message passing.
+        let mut a = VectorClock::new(3);
+        a.tick(0); // send on rank 0
+        let mut b = a.clone();
+        b.merge(&a);
+        b.tick(1); // recv + send on rank 1
+        let mut c = b.clone();
+        c.tick(2);
+        assert!(a.happens_before(&b));
+        assert!(b.happens_before(&c));
+        assert!(a.happens_before(&c), "transitivity");
+        assert!(!b.happens_before(&a));
+        assert!(!a.happens_before(&a), "irreflexive");
+    }
+
+    #[test]
+    fn concurrent_events_detected() {
+        let mut a = VectorClock::new(2);
+        a.tick(0);
+        let mut b = VectorClock::new(2);
+        b.tick(1);
+        assert!(a.concurrent(&b));
+        assert!(!a.concurrent(&a.clone()));
+    }
+
+    #[test]
+    fn merge_handles_width_mismatch() {
+        let mut a = VectorClock::new(1);
+        a.tick(0);
+        let mut b = VectorClock::from_components(vec![0, 7]);
+        b.merge(&a);
+        assert_eq!(b.components(), &[1, 7]);
+        a.merge(&b);
+        assert_eq!(a.components(), &[1, 7]);
+    }
+}

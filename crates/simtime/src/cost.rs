@@ -337,7 +337,7 @@ mod tests {
     fn ddr4_small_op_latency_bound_large_bandwidth_bound() {
         let m = MemModel::ddr4();
         let small = m.op_ns(256);
-        let large = m.op_ns(MIB as u64);
+        let large = m.op_ns(MIB);
         assert!(small < 2 * m.op_latency);
         assert!(large > 10 * small);
     }

@@ -196,7 +196,7 @@ fn custom_hash_and_storage_groups_compose() {
         let db = ctx.open("db", OpenFlags::create(), opt).unwrap();
         if ctx.rank() == 1 {
             for i in 0..40 {
-                db.put(&scenario_key(9, i), &vec![b'z'; 200]).unwrap();
+                db.put(&scenario_key(9, i), &[b'z'; 200]).unwrap();
             }
         }
         db.barrier(BarrierLevel::SsTable).unwrap();

@@ -1,0 +1,12 @@
+// Seeded fixture: raw std locks outside compat/ must be flagged.
+use std::sync::Mutex;
+
+pub struct Holder {
+    pub slot: std::sync::RwLock<u64>,
+    pub q: Mutex<Vec<u8>>,
+}
+
+// A mention of std::sync::Mutex in a comment line must NOT be flagged.
+pub fn waived() {
+    let _cv = std::sync::Condvar::new(); // lint:allow(std-sync-lock)
+}

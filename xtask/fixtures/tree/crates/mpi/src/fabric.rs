@@ -1,0 +1,17 @@
+// Seeded fixture: unwrap in a protocol-handler path must be flagged.
+
+pub fn deliver(slots: &[Option<u32>]) -> u32 {
+    // Exactly one reportable finding in this file:
+    let first = slots.first().unwrap();
+    let second = slots.get(1).copied().flatten().unwrap_or(0); // unwrap_or is fine
+    first.expect("slot empty") + second // lint:allow(protocol-unwrap)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

@@ -1,0 +1,6 @@
+// Seeded fixture: a tel span opened but never closed must be flagged.
+
+pub fn leaky(rec: &papyrus_telemetry::SpanRecorder) {
+    let _span = rec.begin("core", "flush", 0, 100);
+    // ... early return path forgets rec.end(_span, ts) — no .end( in file.
+}

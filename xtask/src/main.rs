@@ -1,0 +1,280 @@
+//! Repo automation. Currently one subcommand:
+//!
+//! ```text
+//! cargo xtask lint [--root PATH]
+//! ```
+//!
+//! A plain-text, AST-lite lint pass over the workspace sources enforcing
+//! repo-specific rules that rustc/clippy cannot express:
+//!
+//! - **std-sync-lock** — no `std::sync::{Mutex, RwLock, Condvar}` outside
+//!   `compat/` (the parking_lot shim wraps them and feeds the sanity
+//!   lock-order detector; a raw std lock is invisible to it). Carve-outs:
+//!   `crates/sanity` (the detector cannot be built on the primitives it
+//!   checks) and this crate.
+//! - **protocol-unwrap** — no `.unwrap()` / `.expect(` in protocol-handler
+//!   paths (`crates/mpi/src/fabric.rs`, `crates/core/src/db.rs`,
+//!   `crates/core/src/runtime.rs`): a panic inside a dispatcher/handler
+//!   thread deadlocks the ranks blocked on it instead of failing loudly.
+//!   Test modules (after `#[cfg(test)]`) are exempt.
+//! - **real-time** — no `std::time::{Instant, SystemTime}` under `crates/`
+//!   outside `crates/simtime`: all timing must flow through virtual SimNs
+//!   clocks or results become wall-clock dependent.
+//! - **tel-span-balance** — per file, every telemetry span opened with
+//!   `.begin(` is closed with `.end(` (count parity): an unclosed pending
+//!   span silently drops the event at trace export.
+//!
+//! Lines whose trimmed form starts with `//` are skipped; a finding on a
+//! specific line can be waived with a trailing `// lint:allow(<rule>)`.
+//! Exit status is non-zero iff findings remain.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One lint finding.
+#[derive(Debug)]
+struct Finding {
+    rule: &'static str,
+    path: String,
+    line: usize,
+    text: String,
+}
+
+impl Finding {
+    fn render(&self) -> String {
+        format!("{}:{}: [{}] {}", self.path, self.line, self.rule, self.text.trim())
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let mut root: Option<PathBuf> = None;
+            let mut it = args.iter().skip(1);
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--root" => root = it.next().map(PathBuf::from),
+                    other => {
+                        eprintln!("xtask lint: unknown argument `{other}`");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            let root = root.unwrap_or_else(workspace_root);
+            let findings = run_lint(&root);
+            for f in &findings {
+                println!("{}", f.render());
+            }
+            if findings.is_empty() {
+                println!("xtask lint: clean");
+                ExitCode::SUCCESS
+            } else {
+                println!("xtask lint: {} finding(s)", findings.len());
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo xtask lint [--root PATH]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The workspace root: parent of this crate's manifest dir.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).parent().expect("xtask has a parent dir").to_path_buf()
+}
+
+/// Run every rule over all `.rs` files under `root`; returns the findings.
+fn run_lint(root: &Path) -> Vec<Finding> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files);
+    files.sort();
+    let mut findings = Vec::new();
+    for rel in &files {
+        let Ok(source) = fs::read_to_string(root.join(rel)) else { continue };
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        lint_file(&rel_str, &source, &mut findings);
+    }
+    findings
+}
+
+/// Recursively gather `.rs` files, paths relative to `root`. Skips build
+/// output, VCS metadata, lint fixtures, and the `xtask` crate itself (its
+/// source spells out the patterns it searches for).
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(name.as_ref(), "target" | ".git" | "fixtures" | "xtask") {
+                continue;
+            }
+            collect_rs_files(root, &path, out);
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+}
+
+/// Files where `.unwrap()` / `.expect(` would panic inside a protocol
+/// dispatcher/handler thread.
+const PROTOCOL_PATHS: &[&str] =
+    &["crates/mpi/src/fabric.rs", "crates/core/src/db.rs", "crates/core/src/runtime.rs"];
+
+fn lint_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
+    let std_sync_applies = !(rel.starts_with("compat/")
+        || rel.starts_with("crates/sanity/")
+        || rel.starts_with("xtask/"));
+    let protocol_applies = PROTOCOL_PATHS.contains(&rel);
+    let real_time_applies = rel.starts_with("crates/") && !rel.starts_with("crates/simtime/");
+
+    let mut in_tests = false;
+    let mut begin_count = 0usize;
+    let mut end_count = 0usize;
+    let mut first_begin_line = 0usize;
+
+    for (idx, line) in source.lines().enumerate() {
+        let lineno = idx + 1;
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        if trimmed.contains("#[cfg(test)]") {
+            in_tests = true;
+        }
+
+        // Span parity is counted across the whole file, comments excluded.
+        let b = count_matches(line, ".begin(");
+        if b > 0 && first_begin_line == 0 {
+            first_begin_line = lineno;
+        }
+        begin_count += b;
+        end_count += count_matches(line, ".end(");
+
+        if std_sync_applies
+            && !allowed(line, "std-sync-lock")
+            && (line.contains("std::sync::Mutex")
+                || line.contains("std::sync::RwLock")
+                || line.contains("std::sync::Condvar")
+                || (line.contains("use std::sync::")
+                    && !line.contains("std::sync::atomic")
+                    && (line.contains("Mutex")
+                        || line.contains("RwLock")
+                        || line.contains("Condvar"))))
+        {
+            findings.push(Finding {
+                rule: "std-sync-lock",
+                path: rel.into(),
+                line: lineno,
+                text: line.into(),
+            });
+        }
+
+        if protocol_applies
+            && !in_tests
+            && !allowed(line, "protocol-unwrap")
+            && (line.contains(".unwrap()") || line.contains(".expect("))
+        {
+            findings.push(Finding {
+                rule: "protocol-unwrap",
+                path: rel.into(),
+                line: lineno,
+                text: line.into(),
+            });
+        }
+
+        if real_time_applies
+            && !allowed(line, "real-time")
+            && (line.contains("std::time::Instant")
+                || line.contains("std::time::SystemTime")
+                || line.contains("Instant::now(")
+                || line.contains("SystemTime::now(")
+                || (line.contains("use std::time::")
+                    && (line.contains("Instant") || line.contains("SystemTime"))))
+        {
+            findings.push(Finding {
+                rule: "real-time",
+                path: rel.into(),
+                line: lineno,
+                text: line.into(),
+            });
+        }
+    }
+
+    if begin_count != end_count && !allowed(source, "tel-span-balance") {
+        findings.push(Finding {
+            rule: "tel-span-balance",
+            path: rel.into(),
+            line: first_begin_line.max(1),
+            text: format!("{begin_count} span .begin( calls vs {end_count} .end( calls"),
+        });
+    }
+}
+
+fn allowed(haystack: &str, rule: &str) -> bool {
+    haystack.contains(&format!("lint:allow({rule})"))
+}
+
+fn count_matches(line: &str, needle: &str) -> usize {
+    line.match_indices(needle).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture_root() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/tree")
+    }
+
+    fn rules_hit(findings: &[Finding]) -> Vec<&'static str> {
+        let mut rules: Vec<&'static str> = findings.iter().map(|f| f.rule).collect();
+        rules.sort();
+        rules.dedup();
+        rules
+    }
+
+    #[test]
+    fn fixture_tree_trips_every_rule() {
+        let findings = run_lint(&fixture_root());
+        let rules = rules_hit(&findings);
+        assert_eq!(
+            rules,
+            vec!["protocol-unwrap", "real-time", "std-sync-lock", "tel-span-balance"],
+            "findings: {:#?}",
+            findings
+        );
+    }
+
+    #[test]
+    fn fixture_findings_point_at_seeded_lines() {
+        let findings = run_lint(&fixture_root());
+        assert!(findings
+            .iter()
+            .any(|f| f.rule == "std-sync-lock" && f.path == "crates/core/src/bad_sync.rs"));
+        assert!(findings
+            .iter()
+            .any(|f| f.rule == "protocol-unwrap" && f.path == "crates/mpi/src/fabric.rs"));
+        // The fixture fabric also has an .unwrap() under #[cfg(test)] and a
+        // lint:allow'd one — neither may be reported.
+        assert_eq!(
+            findings.iter().filter(|f| f.rule == "protocol-unwrap").count(),
+            1,
+            "{:#?}",
+            findings
+        );
+    }
+
+    #[test]
+    fn real_tree_is_clean() {
+        let findings = run_lint(&workspace_root());
+        assert!(findings.is_empty(), "lint findings in tree:\n{:#?}", findings);
+    }
+}

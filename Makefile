@@ -1,6 +1,6 @@
 # Convenience targets mirroring what CI runs.
 
-.PHONY: build test fmt clippy lint sanity verify trace clean
+.PHONY: build test fmt clippy lint sanity crashcheck verify trace clean
 
 build:
 	cargo build --release --workspace
@@ -24,8 +24,15 @@ lint:
 sanity:
 	PAPYRUS_SANITY=1 cargo test -q --release --workspace
 
+# Crash-consistency sweep: enumerate every NVM crash point of a
+# checkpoint/restart workload, verify recovery against audit_db and a KV
+# oracle, then prove the checker catches three planted durability bugs.
+crashcheck:
+	cargo xtask crashcheck
+	cargo xtask crashcheck --seed-bug all
+
 # The tier-1 gate: everything CI requires to pass, in one command.
-verify: build test fmt clippy lint
+verify: build test fmt clippy lint crashcheck
 	@echo "verify: OK"
 
 # Quick observability smoke: writes trace.json (chrome://tracing / Perfetto).

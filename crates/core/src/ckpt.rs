@@ -29,7 +29,13 @@ use crate::sstable::{Ssid, SstReader};
 
 /// Write a rank manifest at `now`; returns the completion stamp.
 ///
-/// Format: line 1 `next:<ssid>`, line 2 space-separated live SSIDs.
+/// Format: line 1 `next:<ssid>`, line 2 space-separated live SSIDs, line 3
+/// the `ok` end sentinel (a torn write is missing it and parses as
+/// [`ManifestRead::Corrupt`] instead of a silently truncated live list).
+///
+/// The update is crash-atomic: fence the data writes the manifest commits,
+/// write `MANIFEST.tmp`, rename it over the live manifest, fence again. A
+/// crash at any point observes either the old manifest or the new one.
 pub(crate) fn write_manifest_at(
     store: &NvmStore,
     prefix: &str,
@@ -46,30 +52,74 @@ pub(crate) fn write_manifest_at(
         }
         text.push_str(&s.to_string());
     }
-    text.push('\n');
-    store.put_at(&manifest_path(prefix, db, rank), Bytes::from(text), now)
+    text.push_str("\nok\n");
+    let path = manifest_path(prefix, db, rank);
+    let tmp = format!("{path}.tmp");
+    // Nothing the manifest references may be reordered past its commit.
+    store.fence();
+    let t = store.put_at(&tmp, Bytes::from(text), now);
+    let (_, t) = store.rename_at(&tmp, &path, t);
+    store.fence();
+    t
 }
 
-/// Read a rank manifest; `None` if absent or unparseable.
-pub(crate) fn read_manifest(
-    store: &NvmStore,
-    prefix: &str,
-    db: &str,
-    rank: usize,
-) -> Option<(Ssid, Vec<Ssid>)> {
-    let data = store.backend().get_all(&manifest_path(prefix, db, rank))?;
-    let text = std::str::from_utf8(&data).ok()?;
-    let mut lines = text.lines();
-    let next = lines.next()?.strip_prefix("next:")?.trim().parse().ok()?;
-    let live = match lines.next() {
-        Some(line) => line
-            .split_whitespace()
-            .map(str::parse)
-            .collect::<std::result::Result<Vec<Ssid>, _>>()
-            .ok()?,
-        None => Vec::new(),
+/// Outcome of reading a rank manifest: absent (fresh database) is a
+/// different situation from present-but-unparseable (torn or corrupt
+/// write), which recovery must report rather than mask.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ManifestRead {
+    /// No manifest object exists.
+    Absent,
+    /// A manifest object exists but cannot be parsed; the payload says why.
+    Corrupt(String),
+    /// Parsed: (`next_ssid`, live SSID list).
+    Present(Ssid, Vec<Ssid>),
+}
+
+/// Read a rank manifest, distinguishing absence from corruption.
+pub(crate) fn read_manifest(store: &NvmStore, prefix: &str, db: &str, rank: usize) -> ManifestRead {
+    let path = manifest_path(prefix, db, rank);
+    let Some(data) = store.backend().get_all(&path) else {
+        return ManifestRead::Absent;
     };
-    Some((next, live))
+    let corrupt = |why: &str| ManifestRead::Corrupt(format!("{path}: {why}"));
+    let Ok(text) = std::str::from_utf8(&data) else {
+        return corrupt("not utf-8");
+    };
+    let mut lines = text.lines();
+    let next = match lines.next().and_then(|l| l.strip_prefix("next:")) {
+        Some(v) => match v.trim().parse() {
+            Ok(n) => n,
+            Err(_) => return corrupt("unparseable next_ssid"),
+        },
+        None => return corrupt("missing next: line"),
+    };
+    let live = match lines.next() {
+        Some(line) => {
+            match line
+                .split_whitespace()
+                .map(str::parse)
+                .collect::<std::result::Result<Vec<Ssid>, _>>()
+            {
+                Ok(v) => v,
+                Err(_) => return corrupt("unparseable SSID list"),
+            }
+        }
+        None => return corrupt("truncated before SSID list"),
+    };
+    if lines.next() != Some("ok") {
+        return corrupt("missing end sentinel (torn write)");
+    }
+    ManifestRead::Present(next, live)
+}
+
+/// Report a crash-state anomaly found on a recovery path, when either
+/// sanity gate is on. Recovery still proceeds (ignore-and-report); the
+/// crashcheck driver fails the sweep on these.
+pub(crate) fn report_recovery_anomaly(kind: papyrus_sanity::ViolationKind, detail: String) {
+    if papyrus_sanity::enabled() || papyrus_sanity::crashcheck_enabled() {
+        papyrus_sanity::record_violation(kind, detail);
+    }
 }
 
 fn manifest_path(prefix: &str, db: &str, rank: usize) -> String {
@@ -147,6 +197,7 @@ pub(crate) fn run_checkpoint_transfer(
             Bytes::from(format!("{}\n", ctx.rank.size())),
             t,
         );
+        pfs.fence();
     }
     t
 }
@@ -179,11 +230,51 @@ pub(crate) fn restart(
         // Same rank count: "the SSTables in the snapshot can be reused as
         // they are, without any additional file manipulation" — copy them
         // back PFS → NVM and compose.
+        //
+        // Anomalies in the snapshot (missing/corrupt manifest, incomplete
+        // SSTable triples) are reported and tolerated as an empty/partial
+        // rank rather than returned as errors: restart is collective, and a
+        // rank erroring out while its peers proceed to the collective open
+        // would hang the job — strictly worse than recovering what exists.
         let dst_store = inner.repo_store();
         let mut t = inner.clock().now();
-        let (next, ssids) = read_manifest(pfs, &path, name, me)
-            .ok_or_else(|| Error::InvalidSnapshot(format!("missing manifest for rank {me}")))?;
+        let (next, ssids) = match read_manifest(pfs, &path, name, me) {
+            ManifestRead::Present(next, ssids) => (next, ssids),
+            ManifestRead::Absent => {
+                report_recovery_anomaly(
+                    papyrus_sanity::ViolationKind::ManifestCorrupt,
+                    format!(
+                        "restart {path}/{name}: snapshot manifest for rank {me} missing \
+                         — restoring an empty rank"
+                    ),
+                );
+                (1, Vec::new())
+            }
+            ManifestRead::Corrupt(why) => {
+                report_recovery_anomaly(
+                    papyrus_sanity::ViolationKind::ManifestCorrupt,
+                    format!("restart {path}/{name}: {why} — restoring an empty rank"),
+                );
+                (1, Vec::new())
+            }
+        };
+        let mut restored = Vec::with_capacity(ssids.len());
         for &ssid in &ssids {
+            // Probe the whole triple before copying anything: a torn
+            // snapshot must not be restored as a partial triple.
+            let complete = ["data", "index", "bloom"]
+                .iter()
+                .all(|ext| pfs.exists(&format!("{path}/{name}/r{me}/sst{ssid:010}.{ext}")));
+            if !complete {
+                report_recovery_anomaly(
+                    papyrus_sanity::ViolationKind::SstUnreadable,
+                    format!(
+                        "restart {path}/{name}: snapshot sst {ssid} of rank {me} incomplete \
+                         — skipping it"
+                    ),
+                );
+                continue;
+            }
             for ext in ["data", "index", "bloom"] {
                 let src = format!("{path}/{name}/r{me}/sst{ssid:010}.{ext}");
                 let dst = format!("{}/{name}/r{me}/sst{ssid:010}.{ext}", inner.repo.prefix);
@@ -191,8 +282,9 @@ pub(crate) fn restart(
                     t = dst_store.put_at(&dst, bytes, read_done);
                 }
             }
+            restored.push(ssid);
         }
-        t = write_manifest_at(&dst_store, &inner.repo.prefix, name, me, next, &ssids, t);
+        t = write_manifest_at(&dst_store, &inner.repo.prefix, name, me, next, &restored, t);
         // "When the file transfers complete, the runtime internally calls
         // papyruskv_open() to compose the database."
         let db = ctx.open(name, flags, opt)?;
@@ -201,21 +293,60 @@ pub(crate) fn restart(
         // Restart with redistribution (Figure 5(c)): each rank takes a
         // partition of the old ranks' SSTables and re-puts every pair; "the
         // workload of put operations is partitioned across all the MPI
-        // ranks and executed in parallel".
+        // ranks and executed in parallel". Snapshot anomalies are reported
+        // and skipped for the same collective-divergence reason as above.
         let db = ctx.open(name, OpenFlags::create(), opt)?;
         let mut t = inner.clock().now();
         for old_rank in (me..old_n).step_by(n) {
-            let Some((_, ssids)) = read_manifest(pfs, &path, name, old_rank) else {
-                continue;
+            let ssids = match read_manifest(pfs, &path, name, old_rank) {
+                ManifestRead::Present(_, ssids) => ssids,
+                ManifestRead::Absent => {
+                    report_recovery_anomaly(
+                        papyrus_sanity::ViolationKind::ManifestCorrupt,
+                        format!(
+                            "restart {path}/{name}: snapshot manifest for old rank \
+                             {old_rank} missing — skipping that rank"
+                        ),
+                    );
+                    continue;
+                }
+                ManifestRead::Corrupt(why) => {
+                    report_recovery_anomaly(
+                        papyrus_sanity::ViolationKind::ManifestCorrupt,
+                        format!("restart {path}/{name}: {why} — skipping old rank {old_rank}"),
+                    );
+                    continue;
+                }
             };
             for ssid in ssids {
                 let base = format!("{path}/{name}/r{old_rank}/sst{ssid:010}");
                 let Some((reader, opened)) = SstReader::open_at(pfs, &base, ssid, t) else {
+                    report_recovery_anomaly(
+                        papyrus_sanity::ViolationKind::SstUnreadable,
+                        format!(
+                            "restart {path}/{name}: snapshot sst {ssid} of old rank \
+                             {old_rank} unreadable — skipping it"
+                        ),
+                    );
                     continue;
                 };
                 t = opened;
-                let (entries, scanned) = reader.scan_all_at(t)?;
-                t = scanned;
+                let entries = match reader.scan_all_at(t) {
+                    Ok((entries, scanned)) => {
+                        t = scanned;
+                        entries
+                    }
+                    Err(_) => {
+                        report_recovery_anomaly(
+                            papyrus_sanity::ViolationKind::SstUnreadable,
+                            format!(
+                                "restart {path}/{name}: snapshot sst {ssid} of old rank \
+                                 {old_rank} does not parse — skipping it"
+                            ),
+                        );
+                        continue;
+                    }
+                };
                 inner.clock().merge(t);
                 for (key, entry) in entries {
                     if entry.tombstone {

@@ -131,27 +131,82 @@ impl DbInner {
 
         let manifest = ckpt::read_manifest(&store, &ctx.repo.prefix, name, me);
         let (next_ssid, readers) = match manifest {
-            Some((next, ssids)) => {
+            ckpt::ManifestRead::Present(next, ssids) => {
                 if flags.exclusive {
                     return Err(Error::InvalidArgument("database already exists"));
                 }
                 // Zero-copy compose (§4.1): empty MemTables + retained
                 // SSTables; only manifest/index/bloom metadata is read.
                 let mut readers = Vec::with_capacity(ssids.len());
+                let mut unreadable: Vec<Ssid> = Vec::new();
                 for ssid in ssids {
                     let base = sstable::sst_base(&ctx.repo.prefix, name, me, ssid);
                     if let Some((r, done)) = SstReader::open_at(&store, &base, ssid, clock.now()) {
                         clock.merge(done);
                         readers.push(r);
+                    } else {
+                        unreadable.push(ssid);
                     }
                 }
                 readers.sort_by_key(SstReader::ssid);
+                if !unreadable.is_empty() {
+                    // A committed manifest references tables that are gone:
+                    // acknowledged data was lost. Compose without them and
+                    // repair the manifest so it matches what actually opened.
+                    ckpt::report_recovery_anomaly(
+                        papyrus_sanity::ViolationKind::SstUnreadable,
+                        format!(
+                            "db {name} rank {me}: manifest-listed SSTables {unreadable:?} \
+                             missing or unreadable — composing without them"
+                        ),
+                    );
+                    let live: Vec<Ssid> = readers.iter().map(SstReader::ssid).collect();
+                    let done = ckpt::write_manifest_at(
+                        &store,
+                        &ctx.repo.prefix,
+                        name,
+                        me,
+                        next,
+                        &live,
+                        clock.now(),
+                    );
+                    clock.merge(done);
+                }
                 (next, readers)
             }
-            None => {
+            ckpt::ManifestRead::Corrupt(why) => {
+                if flags.exclusive {
+                    return Err(Error::InvalidArgument("database already exists"));
+                }
+                // Torn or corrupt manifest: report, then salvage every
+                // complete SSTable triple left in the repository instead of
+                // masking the damage as a fresh database.
+                ckpt::report_recovery_anomaly(
+                    papyrus_sanity::ViolationKind::ManifestCorrupt,
+                    format!("db {name} rank {me}: {why} — salvaging from SSTable files"),
+                );
+                let (next, readers) = Self::salvage_ssts(ctx, name, me, &store, clock);
+                let live: Vec<Ssid> = readers.iter().map(SstReader::ssid).collect();
+                let done = ckpt::write_manifest_at(
+                    &store,
+                    &ctx.repo.prefix,
+                    name,
+                    me,
+                    next,
+                    &live,
+                    clock.now(),
+                );
+                clock.merge(done);
+                (next, readers)
+            }
+            ckpt::ManifestRead::Absent => {
                 if !flags.create {
                     return Err(Error::NotFound);
                 }
+                // Orphan SSTable triples without any manifest are possible
+                // crash debris (a flush cut down before its first manifest
+                // commit) — tolerated: new SSIDs start at 1 and overwrite
+                // whole triples, so debris can never become visible.
                 (1, Vec::new())
             }
         };
@@ -191,6 +246,39 @@ impl DbInner {
             opt,
         });
         Ok(db)
+    }
+
+    /// Best-effort salvage when the manifest is unusable: adopt every
+    /// complete, readable SSTable triple left in this rank's repository
+    /// directory. Incomplete triples (crash debris) are skipped.
+    fn salvage_ssts(
+        ctx: &Arc<CtxInner>,
+        name: &str,
+        me: usize,
+        store: &papyrus_nvm::NvmStore,
+        clock: &Clock,
+    ) -> (Ssid, Vec<SstReader>) {
+        let dir = format!("{}/{}/r{}/", ctx.repo.prefix, name, me);
+        let mut readers = Vec::new();
+        let mut next: Ssid = 1;
+        for obj in store.list(&dir) {
+            let Some(ssid) = obj
+                .strip_prefix(&dir)
+                .and_then(|f| f.strip_prefix("sst"))
+                .and_then(|f| f.strip_suffix(".data"))
+                .and_then(|digits| digits.parse::<Ssid>().ok())
+            else {
+                continue;
+            };
+            let base = sstable::sst_base(&ctx.repo.prefix, name, me, ssid);
+            if let Some((r, done)) = SstReader::open_at(store, &base, ssid, clock.now()) {
+                clock.merge(done);
+                next = next.max(ssid + 1);
+                readers.push(r);
+            }
+        }
+        readers.sort_by_key(SstReader::ssid);
+        (next, readers)
     }
 
     fn check_open(&self) -> Result<()> {
@@ -356,21 +444,23 @@ fn run_merge_compaction(ctx: &CtxInner, db: &Arc<DbInner>, stamp: SimNs) {
         ssts.clear();
         ssts.push(merged);
     }
-    // "When the compaction is finished, the old SSTables are deleted to
-    // save storage space" (§2.5).
-    let mut t = done;
-    for old in &snapshot {
-        t = old.delete_files_at(t);
-    }
-    let t = ckpt::write_manifest_at(
+    // Commit the manifest before deleting the merged inputs: a crash
+    // between the two steps leaves unreferenced debris, never a manifest
+    // pointing at deleted tables.
+    let mut t = ckpt::write_manifest_at(
         &store,
         &ctx.repo.prefix,
         &db.name,
         me,
         db.next_ssid.load(Ordering::SeqCst),
         &[new_ssid],
-        t,
+        done,
     );
+    // "When the compaction is finished, the old SSTables are deleted to
+    // save storage space" (§2.5).
+    for old in &snapshot {
+        t = old.delete_files_at(t);
+    }
     db.flush_backlog.merge(t);
     db.tel.compact_count.inc();
     db.tel.compact_ns.record(t.saturating_sub(stamp));

@@ -36,7 +36,7 @@ use papyrus_sanity::{AuditReport, ViolationKind};
 
 use crate::ckpt;
 use crate::db::Db;
-use crate::memtable::{MemTable, ENTRY_OVERHEAD};
+use crate::memtable::{Entry, MemTable, ENTRY_OVERHEAD};
 use crate::sstable::{Ssid, SstReader};
 
 fn lossy(key: &[u8]) -> String {
@@ -207,7 +207,7 @@ pub fn audit_db(db: &Db) -> AuditReport {
     if pending_flushes == 0 {
         let store = ctx.repo_store();
         match ckpt::read_manifest(&store, &ctx.repo.prefix, &inner.name, me) {
-            Some((m_next, mut m_live)) => {
+            ckpt::ManifestRead::Present(m_next, mut m_live) => {
                 m_live.sort_unstable();
                 if m_live != live {
                     report.push(
@@ -222,7 +222,13 @@ pub fn audit_db(db: &Db) -> AuditReport {
                     );
                 }
             }
-            None => {
+            ckpt::ManifestRead::Corrupt(why) => {
+                report.push(
+                    ViolationKind::ManifestCorrupt,
+                    format!("rank {me}: manifest unparseable: {why}"),
+                );
+            }
+            ckpt::ManifestRead::Absent => {
                 if !live.is_empty() {
                     report.push(
                         ViolationKind::ManifestMismatch,
@@ -234,6 +240,39 @@ pub fn audit_db(db: &Db) -> AuditReport {
     }
 
     report
+}
+
+/// Dump every key this rank's local LSM stack currently makes visible,
+/// newest writer wins: the active local MemTable shadows the immutable
+/// queue (newest-first), which shadows the SSTables (newest-first). A key
+/// whose newest record is a tombstone maps to `None`.
+///
+/// Reads through `records_uncharged` and charges no virtual time. Used by
+/// the crash-consistency checker to compare a recovered store against its
+/// KV oracle; like [`audit_db`], calling it is the opt-in.
+pub fn dump_visible(db: &Db) -> Vec<(Vec<u8>, Option<bytes::Bytes>)> {
+    let (_ctx, inner) = db.sanity_parts();
+    let mut seen: std::collections::BTreeMap<Vec<u8>, Option<bytes::Bytes>> =
+        std::collections::BTreeMap::new();
+    let mut absorb = |key: &[u8], e: &Entry| {
+        seen.entry(key.to_vec()).or_insert_with(|| (!e.tombstone).then(|| e.value.clone()));
+    };
+    for (k, e) in inner.local.read().iter() {
+        absorb(k, e);
+    }
+    for mt in inner.imm_local.read().iter().rev() {
+        for (k, e) in mt.iter() {
+            absorb(k, e);
+        }
+    }
+    for reader in inner.ssts.read().iter().rev() {
+        if let Some(records) = reader.records_uncharged() {
+            for (k, e) in &records {
+                absorb(k, e);
+            }
+        }
+    }
+    seen.into_iter().collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,143 @@
+//! CLI for the crash-consistency sweep.
+//!
+//! ```text
+//! crashcheck [--ranks N] [--restore-ranks M] [--per-rank K]
+//!            [--stride S] [--reorder-cap R] [--timeout SECS]
+//!            [--seed-bug MODE|all] [--verbose]
+//! ```
+//!
+//! Without `--seed-bug`: record the workload, sweep every crash point, and
+//! exit non-zero if any violation is found. With `--seed-bug`: re-record
+//! under each seeded fault and exit non-zero unless every bug is detected.
+
+use std::process::ExitCode;
+
+use papyrus_crashcheck::{fault_by_name, fault_name, sweep, CrashCfg, SEED_BUGS};
+use papyrus_nvm::FaultMode;
+
+fn main() -> ExitCode {
+    let mut cfg = CrashCfg::default();
+    let mut seed_bug: Option<String> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut num = |what: &str| -> Option<usize> {
+            match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => Some(n),
+                _ => {
+                    eprintln!("crashcheck: {what} needs a positive integer");
+                    None
+                }
+            }
+        };
+        match arg.as_str() {
+            "--ranks" => match num("--ranks") {
+                Some(n) => cfg.ranks = n,
+                None => return ExitCode::FAILURE,
+            },
+            "--restore-ranks" => match num("--restore-ranks") {
+                Some(n) => cfg.restore_ranks = n,
+                None => return ExitCode::FAILURE,
+            },
+            "--per-rank" => match num("--per-rank") {
+                Some(n) => cfg.per_rank = n,
+                None => return ExitCode::FAILURE,
+            },
+            "--stride" => match num("--stride") {
+                Some(n) => cfg.stride = n,
+                None => return ExitCode::FAILURE,
+            },
+            "--reorder-cap" => match num("--reorder-cap") {
+                Some(n) => cfg.reorder_cap = n,
+                None => return ExitCode::FAILURE,
+            },
+            "--timeout" => match num("--timeout") {
+                Some(n) => cfg.timeout_secs = n as u64,
+                None => return ExitCode::FAILURE,
+            },
+            "--seed-bug" => match it.next() {
+                Some(mode) => seed_bug = Some(mode.clone()),
+                None => {
+                    eprintln!("crashcheck: --seed-bug needs a mode name or `all`");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--verbose" => cfg.verbose = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: crashcheck [--ranks N] [--restore-ranks M] [--per-rank K] \
+                     [--stride S] [--reorder-cap R] [--timeout SECS] \
+                     [--seed-bug MODE|all] [--verbose]\n\
+                     seed-bug modes: {}",
+                    SEED_BUGS.map(fault_name).join(", ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("crashcheck: unknown argument `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if cfg.ranks == cfg.restore_ranks {
+        eprintln!(
+            "crashcheck: --restore-ranks must differ from --ranks \
+             (restores must exercise redistribution)"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    match seed_bug {
+        None => {
+            let report = sweep(&cfg, FaultMode::None, false);
+            print!("{}", report.render());
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Some(mode) => {
+            let faults: Vec<FaultMode> = if mode == "all" {
+                SEED_BUGS.to_vec()
+            } else {
+                match fault_by_name(&mode) {
+                    Some(f) => vec![f],
+                    None => {
+                        eprintln!(
+                            "crashcheck: unknown seed-bug `{mode}` (known: {}, all)",
+                            SEED_BUGS.map(fault_name).join(", ")
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+            };
+            let mut detected = 0usize;
+            for fault in &faults {
+                let report = sweep(&cfg, *fault, true);
+                let caught = !report.is_clean();
+                println!(
+                    "seed-bug {:<22} {}",
+                    fault_name(*fault),
+                    if caught {
+                        let v = &report.violations[0];
+                        format!(
+                            "detected at point {} [{}]: [{}] {}",
+                            v.point, v.policy, v.kind, v.detail
+                        )
+                    } else {
+                        "MISSED".to_string()
+                    }
+                );
+                detected += usize::from(caught);
+            }
+            println!("{detected}/{} seeded bugs detected", faults.len());
+            if detected == faults.len() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

@@ -1,0 +1,430 @@
+//! Crash-point sweep: materialise every crash state, re-open the store,
+//! and verify recovery.
+//!
+//! For each crash point `k` (every `stride`-th journal position) the sweep
+//! builds up to `1 + 1 + reorder_cap` states:
+//!
+//! * **clean cut** at `k`;
+//! * **torn tail** — if op `k` carries data, only the first half of its
+//!   payload survives;
+//! * **reorder** — each of the newest `reorder_cap` unfenced mutations
+//!   before `k` is dropped individually ([`droppable_tail`]).
+//!
+//! Each state is checked two ways, each in a supervised thread (panics are
+//! caught, hangs time out — a recovery that panics or deadlocks is itself
+//! a violation):
+//!
+//! 1. **NVM recovery** at the original rank count: re-open the database
+//!    from the surviving bytes, run [`papyruskv::sanity::audit_db`], dump
+//!    the visible pairs, and probe every key the workload ever wrote
+//!    through the normal `get` path. Observations are judged by the
+//!    [`Oracle`]: nothing acknowledged before the governing durable mark
+//!    may be lost, and nothing unacknowledged may appear.
+//! 2. **Snapshot restore** at `restore_ranks ≠ ranks` — forced
+//!    redistribution — whenever a completed checkpoint precedes `k`: the
+//!    restored store must reproduce the snapshot exactly.
+//!
+//! Verdicts flow through the global `papyrus-sanity` registry: the sweep
+//! drains it per state, so any violation recorded by recovery code
+//! (`manifest-corrupt`, `sst-unreadable`), by the audit, or by the oracle
+//! fails that state. With atomic manifest commits and correct fencing a
+//! clean run produces **zero** violations at every crash point; the
+//! `--seed-bug` self test proves each seeded bug class is caught.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use bytes::Bytes;
+use papyrus_mpi::{World, WorldConfig};
+use papyrus_nvm::journal::{droppable_tail, materialize};
+use papyrus_nvm::{
+    Backend, CrashPolicy, FaultMode, MemBackend, NvmStore, StorageMap, SystemProfile,
+};
+use papyrus_sanity::ViolationKind;
+use papyruskv::{Context, OpenFlags, Options, Platform};
+use parking_lot::Mutex;
+
+use crate::oracle::Mark;
+use crate::workload::{record_workload, CrashCfg, Recorded, DB_NAME, PFS_NS, REPOSITORY};
+
+/// One confirmed violation, tagged with the crash state that produced it.
+#[derive(Debug, Clone)]
+pub struct SweepViolation {
+    /// Crash point (journal position).
+    pub point: usize,
+    /// Crash policy description.
+    pub policy: String,
+    /// Violation kind name (`papyrus_sanity::ViolationKind::name`).
+    pub kind: String,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// Outcome of a full sweep.
+#[derive(Debug, Default)]
+pub struct SweepReport {
+    /// Journal length of the recorded workload.
+    pub ops: usize,
+    /// Crash points visited.
+    pub points: usize,
+    /// Crash states materialised and recovered.
+    pub states: usize,
+    /// Snapshot restores performed (each at `restore_ranks`).
+    pub restores: usize,
+    /// Crash points at which a snapshot restore ran.
+    pub restore_points: Vec<usize>,
+    /// `(label, journal position)` of every workload mark.
+    pub marks: Vec<(String, usize)>,
+    /// Everything that failed verification.
+    pub violations: Vec<SweepViolation>,
+}
+
+impl SweepReport {
+    /// No violations anywhere in the sweep.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Multi-line summary for CLI output.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "swept {} crash points ({} states, {} snapshot restores) over {} journaled ops\n",
+            self.points, self.states, self.restores, self.ops
+        );
+        for (label, seq) in &self.marks {
+            out.push_str(&format!("  mark {label:<14} @ op {seq}\n"));
+        }
+        if self.is_clean() {
+            out.push_str("no violations\n");
+        } else {
+            out.push_str(&format!("{} VIOLATIONS:\n", self.violations.len()));
+            for v in &self.violations {
+                out.push_str(&format!(
+                    "  point {} [{}] {}: {}\n",
+                    v.point, v.policy, v.kind, v.detail
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Serialises sweeps within one process: each sweep owns the global sanity
+/// registry (drained per crash state) and the process-wide crashcheck gate.
+fn sweep_lock() -> &'static Mutex<()> {
+    static LOCK: std::sync::OnceLock<Mutex<()>> = std::sync::OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// What one recovered rank observed.
+struct RankObs {
+    /// Owned visible pairs from `sanity::dump_visible` (tombstone = `None`).
+    visible: Vec<(Vec<u8>, Option<Bytes>)>,
+    /// `get` result for every key the workload ever wrote.
+    probes: Vec<(Vec<u8>, Option<Bytes>)>,
+}
+
+/// Record the workload, then sweep every crash point. `stop_on_first`
+/// short-circuits at the first violating state (seed-bug mode) and walks
+/// points newest-first, where a recording fault is certain to surface.
+pub fn sweep(cfg: &CrashCfg, fault: FaultMode, stop_on_first: bool) -> SweepReport {
+    let _guard = sweep_lock().lock();
+    papyrus_sanity::force_enable_crashcheck();
+
+    let rec = record_workload(cfg, fault);
+    // The live run is not under test; drop anything it recorded.
+    let _ = papyrus_sanity::take_violations();
+
+    let mut report = SweepReport {
+        ops: rec.ops.len(),
+        marks: rec.oracle.marks().iter().map(|m| (m.label.clone(), m.seq)).collect(),
+        ..SweepReport::default()
+    };
+
+    let probe_keys = Arc::new(rec.oracle.keys());
+    let stride = cfg.stride.max(1);
+    let mut points: Vec<usize> = (0..=rec.ops.len()).step_by(stride).collect();
+    if stop_on_first {
+        points.reverse();
+    }
+
+    for k in points {
+        report.points += 1;
+        let mut policies = vec![CrashPolicy::CleanCut { point: k }];
+        if let Some(op) = rec.ops.get(k) {
+            if op.payload_len() >= 2 {
+                policies.push(CrashPolicy::TornTail { point: k, keep: op.payload_len() / 2 });
+            }
+        }
+        for &i in droppable_tail(&rec.ops, k).iter().rev().take(cfg.reorder_cap) {
+            policies.push(CrashPolicy::Reorder { point: k, drop: vec![i] });
+        }
+
+        for policy in policies {
+            let label = policy_label(&policy);
+            if cfg.verbose {
+                eprintln!("crashcheck: point {k} [{label}]");
+            }
+            report.states += 1;
+            check_state(cfg, &rec, &policy, k, &label, &probe_keys, &mut report);
+            if stop_on_first && !report.is_clean() {
+                return report;
+            }
+        }
+    }
+    report
+}
+
+fn policy_label(policy: &CrashPolicy) -> String {
+    match policy {
+        CrashPolicy::CleanCut { .. } => "clean-cut".to_string(),
+        CrashPolicy::TornTail { keep, .. } => format!("torn-tail keep={keep}"),
+        CrashPolicy::Reorder { drop, .. } => format!("reorder drop={drop:?}"),
+    }
+}
+
+/// Materialise, recover, judge; violations land in `report`.
+fn check_state(
+    cfg: &CrashCfg,
+    rec: &Recorded,
+    policy: &CrashPolicy,
+    point: usize,
+    label: &str,
+    probe_keys: &Arc<Vec<Vec<u8>>>,
+    report: &mut SweepReport,
+) {
+    // --- NVM recovery at the original rank count -------------------------
+    {
+        let state = materialize(&rec.ops, policy);
+        let n = cfg.ranks;
+        let keys = probe_keys.clone();
+        let outcome = run_guarded(cfg.timeout_secs, "nvm-recovery", point, label, move || {
+            recover_nvm(n, &state, &keys)
+        });
+        if let Some(obs) = outcome {
+            let guarantee = rec.oracle.durable_at(point).map(|m| &m.guarantee);
+            for rank_obs in &obs {
+                for (key, val) in rank_obs.visible.iter().chain(&rank_obs.probes) {
+                    if let Some((kind, detail)) =
+                        rec.oracle.judge_recovered(guarantee, key, val.as_ref())
+                    {
+                        papyrus_sanity::record_violation(kind, detail);
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Snapshot restore with redistribution ----------------------------
+    if let Some(snap) = rec.oracle.snapshot_at(point) {
+        let state = materialize(&rec.ops, policy);
+        let m = cfg.restore_ranks;
+        let keys = probe_keys.clone();
+        let snap_owned: Mark = snap.clone();
+        let path = match &snap.kind {
+            crate::oracle::MarkKind::Snapshot { path } => path.clone(),
+            _ => unreachable!("snapshot_at returns snapshot marks only"),
+        };
+        report.restores += 1;
+        report.restore_points.push(point);
+        let outcome = run_guarded(cfg.timeout_secs, "snapshot-restore", point, label, move || {
+            restore_snapshot(m, &state, &path, &keys)
+        });
+        if let Some(obs) = outcome {
+            for rank_obs in &obs {
+                for (key, val) in rank_obs.visible.iter().chain(&rank_obs.probes) {
+                    if let Some((kind, detail)) =
+                        rec.oracle.judge_restored(&snap_owned, key, val.as_ref())
+                    {
+                        papyrus_sanity::record_violation(kind, detail);
+                    }
+                }
+            }
+            // Coverage: every snapshotted live pair must be visible again.
+            let union: HashMap<&[u8], &Option<Bytes>> =
+                obs.iter().flat_map(|o| o.visible.iter()).map(|(k, v)| (k.as_slice(), v)).collect();
+            for key in snap_owned.guarantee.keys() {
+                if !union.contains_key(key.as_slice()) {
+                    if let Some((kind, detail)) = rec.oracle.judge_restored(&snap_owned, key, None)
+                    {
+                        papyrus_sanity::record_violation(kind, detail);
+                    }
+                }
+            }
+        }
+    }
+
+    // Drain the registry: recovery-path reports, audit findings, and oracle
+    // verdicts all become violations of this crash state.
+    for v in papyrus_sanity::take_violations() {
+        report.violations.push(SweepViolation {
+            point,
+            policy: label.to_string(),
+            kind: v.kind.name().to_string(),
+            detail: v.detail,
+        });
+    }
+}
+
+/// Run `f` on a supervised thread. Returns `None` — after recording a
+/// [`ViolationKind::RecoveryFailed`] — if it panics or exceeds the
+/// timeout (a hung collective); the stuck thread is abandoned.
+fn run_guarded<T: Send + 'static>(
+    timeout_secs: u64,
+    what: &str,
+    point: usize,
+    label: &str,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> Option<T> {
+    let (tx, rx) = mpsc::channel();
+    let spawned = std::thread::Builder::new().name(format!("crashcheck-{what}")).spawn(move || {
+        let result = catch_unwind(AssertUnwindSafe(f));
+        let _ = tx.send(result);
+    });
+    let handle = match spawned {
+        Ok(h) => h,
+        Err(e) => {
+            papyrus_sanity::record_violation(
+                ViolationKind::RecoveryFailed,
+                format!("point {point} [{label}] {what}: spawn failed: {e}"),
+            );
+            return None;
+        }
+    };
+    match rx.recv_timeout(Duration::from_secs(timeout_secs)) {
+        Ok(Ok(v)) => {
+            let _ = handle.join();
+            Some(v)
+        }
+        Ok(Err(panic)) => {
+            let _ = handle.join();
+            let msg = panic
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            papyrus_sanity::record_violation(
+                ViolationKind::RecoveryFailed,
+                format!("point {point} [{label}] {what} panicked: {msg}"),
+            );
+            None
+        }
+        Err(_) => {
+            // Deadlocked collective: abandon the thread, flag the state.
+            papyrus_sanity::record_violation(
+                ViolationKind::RecoveryFailed,
+                format!("point {point} [{label}] {what} hung (> {timeout_secs}s)"),
+            );
+            None
+        }
+    }
+}
+
+/// Backend for namespace `ns` in a materialised crash state (empty when
+/// the namespace never appeared in the surviving prefix).
+fn backend_of(state: &HashMap<String, Arc<MemBackend>>, ns: &str) -> Arc<dyn Backend> {
+    state.get(ns).cloned().unwrap_or_default()
+}
+
+/// Re-open the database from the surviving NVM bytes at `n` ranks; audit,
+/// dump, and probe on every rank.
+fn recover_nvm(
+    n: usize,
+    state: &HashMap<String, Arc<MemBackend>>,
+    probe_keys: &Arc<Vec<Vec<u8>>>,
+) -> Vec<RankObs> {
+    let profile = SystemProfile::test_profile();
+    let groups: Vec<NvmStore> = (0..n)
+        .map(|g| {
+            NvmStore::with_backend(
+                profile.nvm.clone(),
+                backend_of(state, &crate::workload::nvm_ns(g)),
+            )
+        })
+        .collect();
+    let pfs = NvmStore::with_backend(profile.pfs.clone(), backend_of(state, PFS_NS));
+    let storage = StorageMap::from_parts(groups, 1, pfs);
+    let platform = Arc::new(Platform { profile, storage, n_ranks: n });
+    let probe_keys = probe_keys.clone();
+    World::run(WorldConfig::for_tests(n), move |rank| {
+        let ctx =
+            Context::init_with_group(rank, platform.clone(), REPOSITORY, 1).expect("recovery init");
+        let db = ctx
+            .open(DB_NAME, OpenFlags::create(), Options::small())
+            .expect("recovery open must tolerate any crash state");
+        let me = ctx.rank();
+        // Structural invariants of the recovered LSM stack (pushes straight
+        // into the sanity registry).
+        let _ = papyruskv::sanity::audit_db(&db);
+        let visible: Vec<(Vec<u8>, Option<Bytes>)> = papyruskv::sanity::dump_visible(&db)
+            .into_iter()
+            .filter(|(k, _)| db.owner_of(k) == me)
+            .collect();
+        let probes: Vec<(Vec<u8>, Option<Bytes>)> = probe_keys
+            .iter()
+            .map(|k| (k.clone(), db.get_opt(k).expect("recovered get must not error")))
+            .collect();
+        db.close().expect("recovery close");
+        ctx.finalize().expect("recovery finalize");
+        RankObs { visible, probes }
+    })
+}
+
+/// Restart from the checkpoint at `path` with `m` ranks (≠ the writer
+/// count, so the restore redistributes) and observe every rank.
+fn restore_snapshot(
+    m: usize,
+    state: &HashMap<String, Arc<MemBackend>>,
+    path: &str,
+    probe_keys: &Arc<Vec<Vec<u8>>>,
+) -> Vec<RankObs> {
+    let profile = SystemProfile::test_profile();
+    let pfs = NvmStore::with_backend(profile.pfs.clone(), backend_of(state, PFS_NS));
+    // Fresh NVM scratch: a new job restoring an old snapshot.
+    let storage = StorageMap::with_pfs(&profile, m, 1, pfs);
+    let platform = Arc::new(Platform { profile, storage, n_ranks: m });
+    let probe_keys = probe_keys.clone();
+    let path = path.to_string();
+    World::run(WorldConfig::for_tests(m), move |rank| {
+        let ctx = Context::init_with_group(rank, platform.clone(), "nvm://crash-restore", 1)
+            .expect("restore init");
+        let (db, ev) = ctx
+            .restart(&path, DB_NAME, OpenFlags::create(), Options::small(), false)
+            .expect("restore from a completed snapshot must succeed");
+        ev.wait();
+        let me = ctx.rank();
+        let _ = papyruskv::sanity::audit_db(&db);
+        let visible: Vec<(Vec<u8>, Option<Bytes>)> = papyruskv::sanity::dump_visible(&db)
+            .into_iter()
+            .filter(|(k, _)| db.owner_of(k) == me)
+            .collect();
+        let probes: Vec<(Vec<u8>, Option<Bytes>)> = probe_keys
+            .iter()
+            .map(|k| (k.clone(), db.get_opt(k).expect("restored get must not error")))
+            .collect();
+        db.close().expect("restore close");
+        ctx.finalize().expect("restore finalize");
+        RankObs { visible, probes }
+    })
+}
+
+/// The three seeded bug classes of the `--seed-bug` self test.
+pub const SEED_BUGS: [FaultMode; 3] =
+    [FaultMode::DropIndexWrites, FaultMode::SkipManifestRename, FaultMode::TornManifest];
+
+/// Stable CLI name of a fault mode.
+pub fn fault_name(fault: FaultMode) -> &'static str {
+    match fault {
+        FaultMode::None => "none",
+        FaultMode::DropIndexWrites => "drop-index",
+        FaultMode::SkipManifestRename => "skip-manifest-rename",
+        FaultMode::TornManifest => "torn-manifest",
+    }
+}
+
+/// Parse a `--seed-bug` argument.
+pub fn fault_by_name(name: &str) -> Option<FaultMode> {
+    SEED_BUGS.iter().copied().find(|&f| fault_name(f) == name)
+}

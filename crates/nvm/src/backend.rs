@@ -27,6 +27,17 @@ pub trait Backend: Send + Sync {
     fn len(&self, path: &str) -> Option<u64>;
     /// Remove an object. Returns whether it existed.
     fn delete(&self, path: &str) -> bool;
+    /// Atomically move `from` to `to`, overwriting `to` if present.
+    /// Returns `false` (leaving `to` untouched) when `from` is missing.
+    /// This is the commit primitive for write-tmp-then-rename updates
+    /// (manifests): a crash either observes the old object or the new one,
+    /// never a torn mix.
+    fn rename(&self, from: &str, to: &str) -> bool;
+    /// Persistence fence: every mutation issued before the fence is durable
+    /// before any mutation issued after it (fsync/pmem-drain analogue).
+    /// Backends with no write-back caching model need do nothing; the
+    /// crashcheck journal records it to bound write reordering.
+    fn fence(&self) {}
     /// All object paths with the given prefix, sorted.
     fn list(&self, prefix: &str) -> Vec<String>;
     /// Whether an object exists.
@@ -82,6 +93,17 @@ impl Backend for MemBackend {
 
     fn delete(&self, path: &str) -> bool {
         self.objects.write().remove(path).is_some()
+    }
+
+    fn rename(&self, from: &str, to: &str) -> bool {
+        let mut g = self.objects.write();
+        match g.remove(from) {
+            Some(v) => {
+                g.insert(to.to_string(), v);
+                true
+            }
+            None => false,
+        }
     }
 
     fn list(&self, prefix: &str) -> Vec<String> {
@@ -169,6 +191,18 @@ impl Backend for DiskBackend {
         fs::remove_file(self.fs_path(path)).is_ok()
     }
 
+    fn rename(&self, from: &str, to: &str) -> bool {
+        let src = self.fs_path(from);
+        if !src.exists() {
+            return false;
+        }
+        let dst = self.fs_path(to);
+        if let Some(parent) = dst.parent() {
+            let _ = fs::create_dir_all(parent);
+        }
+        fs::rename(&src, &dst).is_ok()
+    }
+
     fn list(&self, prefix: &str) -> Vec<String> {
         // Walk the tree and reconstruct object names relative to root.
         fn walk(dir: &Path, root: &Path, out: &mut Vec<String>) {
@@ -225,6 +259,18 @@ mod tests {
         assert!(b.delete("a/c"));
         assert!(!b.delete("a/c"));
         assert!(!b.exists("a/c"));
+
+        // Rename moves, overwrites the target, and fails on a missing source
+        // without touching the target.
+        b.put("m/src", Bytes::from_static(b"manifest"));
+        b.put("m/dst", Bytes::from_static(b"old"));
+        assert!(b.rename("m/src", "m/dst"));
+        assert!(!b.exists("m/src"));
+        assert_eq!(&b.get_all("m/dst").unwrap()[..], b"manifest");
+        assert!(!b.rename("m/gone", "m/dst"));
+        assert_eq!(&b.get_all("m/dst").unwrap()[..], b"manifest");
+        b.fence(); // no-op, must not disturb state
+        assert_eq!(&b.get_all("m/dst").unwrap()[..], b"manifest");
 
         b.clear();
         assert!(b.list("").is_empty());

@@ -21,11 +21,17 @@
 //! * [`SystemProfile`] — full machine descriptions of the paper's Table 2
 //!   systems (Summitdev, Stampede KNL, Cori Haswell): interconnect, NVM
 //!   device, parallel file system, ranks per node, iteration counts.
+//! * [`journal`] — the crash-point journal behind the `PAPYRUS_CRASHCHECK`
+//!   plane: every backend mutation is recorded as a numbered crash point,
+//!   and [`journal::materialize`] rebuilds the bytes a crash at any point
+//!   could leave behind (clean cut, torn tail, unsynced reorder).
 
 mod backend;
+pub mod journal;
 mod store;
 mod system;
 
 pub use backend::{Backend, DiskBackend, MemBackend};
+pub use journal::{CrashPolicy, FaultMode, Journal, JournalOp, JournaledBackend};
 pub use store::{NvmStore, ObjectWriter};
 pub use system::{NvmArch, StorageMap, SystemProfile};

@@ -110,8 +110,23 @@ impl NvmStore {
         Self::with_backend(device, Arc::new(MemBackend::new()))
     }
 
-    /// A store with an explicit backend.
+    /// A store with an explicit backend. When the `PAPYRUS_CRASHCHECK` gate
+    /// is on and a capture journal is installed
+    /// ([`crate::journal::install_capture`]), the backend is wrapped so
+    /// every mutation lands in the journal as a numbered crash point.
     pub fn with_backend(device: DeviceModel, backend: Arc<dyn Backend>) -> Self {
+        let backend = if papyrus_sanity::crashcheck_enabled() {
+            match crate::journal::capture() {
+                Some(journal) => Arc::new(crate::journal::JournaledBackend::new(
+                    crate::journal::auto_namespace(device.name),
+                    journal,
+                    backend,
+                )) as Arc<dyn Backend>,
+                None => backend,
+            }
+        } else {
+            backend
+        };
         let tel = Arc::new(StoreTel::new(device.name));
         Self { device, queue: Resource::new(), backend, tel }
     }
@@ -192,6 +207,23 @@ impl NvmStore {
         (existed, done)
     }
 
+    /// Atomic rename at `now` (metadata-cost operation) — the commit step
+    /// of write-tmp-then-rename updates. Returns whether `from` existed.
+    pub fn rename_at(&self, from: &str, to: &str, now: SimNs) -> (bool, SimNs) {
+        let moved = self.backend.rename(from, to);
+        let done = self.queue.submit_shared(now, self.device.open_ns(), self.device.parallelism);
+        self.tel.meta("rename", now, done);
+        (moved, done)
+    }
+
+    /// Persistence fence: orders earlier writes before later ones for crash
+    /// purposes. A pure ordering marker — devices complete in submission
+    /// order in this model, so no virtual time is charged; the crashcheck
+    /// journal records it to bound write reordering.
+    pub fn fence(&self) {
+        self.backend.fence();
+    }
+
     // ----- clocked wrappers (synchronous I/O) -----
 
     /// Synchronous open: clock advances to completion.
@@ -238,6 +270,13 @@ impl NvmStore {
         let (existed, done) = self.delete_at(path, clock.now());
         clock.merge(done);
         existed
+    }
+
+    /// Synchronous atomic rename.
+    pub fn rename(&self, from: &str, to: &str, clock: &Clock) -> bool {
+        let (moved, done) = self.rename_at(from, to, clock.now());
+        clock.merge(done);
+        moved
     }
 
     // ----- cost-free metadata (no device round trip modelled) -----
@@ -407,6 +446,57 @@ mod tests {
         s.clear();
         assert!(s.list("").is_empty());
         assert_eq!(s.queue().busy_until(), 0);
+    }
+
+    #[test]
+    fn rename_commits_atomically_and_charges_meta_cost() {
+        let s = nvme();
+        let c = Clock::new();
+        s.put("m.tmp", Bytes::from_static(b"next:2\n1\n"), &c);
+        let before = c.now();
+        assert!(s.rename("m.tmp", "m", &c));
+        assert!(c.now() > before, "rename is a metadata op with a cost");
+        assert!(!s.exists("m.tmp"));
+        assert_eq!(&s.backend().get_all("m").unwrap()[..], b"next:2\n1\n");
+        assert!(!s.rename("m.tmp", "m", &c));
+    }
+
+    #[test]
+    fn fence_is_free_and_preserves_state() {
+        let s = nvme();
+        let c = Clock::new();
+        s.put("f", Bytes::from_static(b"x"), &c);
+        let t = c.now();
+        s.fence();
+        assert_eq!(c.now(), t, "fence must not charge virtual time");
+        assert!(s.exists("f"));
+    }
+
+    #[test]
+    fn crashcheck_capture_auto_wraps_new_stores() {
+        use crate::journal::{self, Journal, JournalOp};
+        papyrus_sanity::force_enable_crashcheck();
+        let j = std::sync::Arc::new(Journal::new());
+        journal::install_capture(j.clone());
+        let s = nvme();
+        s.put_at("capture-probe", Bytes::from_static(b"x"), 0);
+        journal::clear_capture();
+        papyrus_sanity::force_disable_crashcheck();
+        assert!(
+            j.ops()
+                .iter()
+                .any(|op| matches!(op, JournalOp::Put { path, .. } if path == "capture-probe")),
+            "store built under an installed capture must journal its writes"
+        );
+        // A store built with no capture in place is untouched.
+        let before = j.len();
+        let s2 = nvme();
+        s2.put_at("uncaptured", Bytes::from_static(b"y"), 0);
+        assert!(!j
+            .ops()
+            .iter()
+            .skip(before)
+            .any(|op| matches!(op, JournalOp::Put { path, .. } if path == "uncaptured")));
     }
 
     #[test]

@@ -164,6 +164,15 @@ impl StorageMap {
         Self::new(profile, n_ranks, profile.default_group_size(n_ranks))
     }
 
+    /// Build from prebuilt stores: one per storage group plus the PFS. The
+    /// crash-consistency checker uses this to run a job against journaled
+    /// backends, and again to re-open a database from backends materialised
+    /// at a crash point.
+    pub fn from_parts(groups: Vec<NvmStore>, group_size: usize, pfs: NvmStore) -> Self {
+        assert!(!groups.is_empty() && group_size > 0);
+        Self { group_size, groups: Arc::new(groups), pfs }
+    }
+
     /// Storage-group id of a rank.
     pub fn group_of(&self, rank: usize) -> usize {
         rank / self.group_size

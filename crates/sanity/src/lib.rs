@@ -78,6 +78,46 @@ pub fn force_disable() {
 }
 
 // ---------------------------------------------------------------------------
+// Crash-consistency plane (`PAPYRUS_CRASHCHECK`)
+// ---------------------------------------------------------------------------
+
+/// Independent gate for the crash-consistency checker: when on,
+/// `papyrus-nvm` journals backend mutations into any installed capture and
+/// the recovery paths in `papyruskv` report crash-state anomalies
+/// (corrupt manifests, unreadable referenced SSTables) into this registry
+/// instead of silently tolerating them. Same 0/1/2 encoding as the main
+/// sanity gate; off costs one relaxed atomic load.
+static CRASHCHECK_STATE: AtomicU8 = AtomicU8::new(0);
+
+/// Whether the crash-consistency plane is live (`PAPYRUS_CRASHCHECK`).
+#[inline]
+pub fn crashcheck_enabled() -> bool {
+    match CRASHCHECK_STATE.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => crashcheck_init_from_env(),
+    }
+}
+
+#[cold]
+fn crashcheck_init_from_env() -> bool {
+    let on = std::env::var_os("PAPYRUS_CRASHCHECK").is_some_and(|v| v != "0" && !v.is_empty());
+    CRASHCHECK_STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+    on
+}
+
+/// Force the crash-consistency plane on regardless of the environment
+/// (the crashcheck driver and its tests). Global.
+pub fn force_enable_crashcheck() {
+    CRASHCHECK_STATE.store(2, Ordering::Relaxed);
+}
+
+/// Force the crash-consistency plane off (tests).
+pub fn force_disable_crashcheck() {
+    CRASHCHECK_STATE.store(1, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
 // Violation registry
 // ---------------------------------------------------------------------------
 
@@ -111,6 +151,21 @@ pub enum ViolationKind {
     ManifestMismatch,
     /// MemTable byte accounting or migration/flush quiescence violated.
     LsmState,
+    /// A manifest existed but could not be parsed (torn or corrupt write) —
+    /// distinct from "absent", which composes a fresh database.
+    ManifestCorrupt,
+    /// A manifest-referenced SSTable triple was missing or unreadable at
+    /// recovery.
+    SstUnreadable,
+    /// An acknowledged-durable key-value pair was not readable (or had an
+    /// impossible value) after crash recovery.
+    DurabilityLost,
+    /// Recovery surfaced a pair the workload never wrote, or a stale value
+    /// that durability marks rule out.
+    PhantomPair,
+    /// Re-opening a database from crash-state bytes panicked, hung, or
+    /// returned an error instead of recovering.
+    RecoveryFailed,
 }
 
 impl ViolationKind {
@@ -129,6 +184,11 @@ impl ViolationKind {
             ViolationKind::BloomFalseNegative => "bloom-false-negative",
             ViolationKind::ManifestMismatch => "manifest-mismatch",
             ViolationKind::LsmState => "lsm-state",
+            ViolationKind::ManifestCorrupt => "manifest-corrupt",
+            ViolationKind::SstUnreadable => "sst-unreadable",
+            ViolationKind::DurabilityLost => "durability-lost",
+            ViolationKind::PhantomPair => "phantom-pair",
+            ViolationKind::RecoveryFailed => "recovery-failed",
         }
     }
 }
@@ -236,6 +296,16 @@ mod tests {
         assert!(!enabled());
         force_enable();
         assert!(enabled());
+    }
+
+    #[test]
+    fn crashcheck_gate_forces() {
+        // Only this test touches the crashcheck gate, so no interleaving
+        // with the main-gate test can race these asserts.
+        force_enable_crashcheck();
+        assert!(crashcheck_enabled());
+        force_disable_crashcheck();
+        assert!(!crashcheck_enabled());
     }
 
     #[test]

@@ -1,0 +1,20 @@
+// Seeded fixture: unwrap on a recovery path must be flagged — recovery
+// parses crash debris, and a panicking rank hangs its peers' collectives.
+
+pub fn parse_manifest(text: &str) -> (u64, Vec<u64>) {
+    let mut lines = text.lines();
+    // Exactly one reportable finding in this file:
+    let next: u64 = lines.next().unwrap().parse().unwrap_or(1);
+    let _tail = lines.next().expect("sentinel line"); // lint:allow(recovery-unwrap)
+    let ssids = lines.map(|l| l.parse().unwrap_or(0)).collect(); // unwrap_or is fine
+    (next, ssids)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u64> = Some(7);
+        assert_eq!(v.unwrap(), 7);
+    }
+}

@@ -1,11 +1,16 @@
-//! Repo automation. Currently one subcommand:
+//! Repo automation.
 //!
 //! ```text
 //! cargo xtask lint [--root PATH]
+//! cargo xtask crashcheck [crashcheck args...]
 //! ```
 //!
-//! A plain-text, AST-lite lint pass over the workspace sources enforcing
-//! repo-specific rules that rustc/clippy cannot express:
+//! `crashcheck` builds and runs the crash-consistency sweep
+//! (`papyrus-crashcheck`) in release mode, forwarding its arguments — see
+//! `cargo xtask crashcheck --help`.
+//!
+//! `lint` is a plain-text, AST-lite pass over the workspace sources
+//! enforcing repo-specific rules that rustc/clippy cannot express:
 //!
 //! - **std-sync-lock** — no `std::sync::{Mutex, RwLock, Condvar}` outside
 //!   `compat/` (the parking_lot shim wraps them and feeds the sanity
@@ -17,6 +22,11 @@
 //!   `crates/core/src/runtime.rs`): a panic inside a dispatcher/handler
 //!   thread deadlocks the ranks blocked on it instead of failing loudly.
 //!   Test modules (after `#[cfg(test)]`) are exempt.
+//! - **recovery-unwrap** — no `.unwrap()` / `.expect(` on recovery paths
+//!   (`crates/core/src/ckpt.rs`: manifest parsing, restart): recovery runs
+//!   against arbitrary crash debris, and a rank that panics while its peers
+//!   proceed to a collective hangs the job. Recovery must
+//!   report-and-tolerate instead. Test modules are exempt.
 //! - **real-time** — no `std::time::{Instant, SystemTime}` under `crates/`
 //!   outside `crates/simtime`: all timing must flow through virtual SimNs
 //!   clocks or results become wall-clock dependent.
@@ -75,8 +85,25 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        Some("crashcheck") => {
+            // Release build: the sweep spins up thousands of recovery
+            // worlds; debug mode is needlessly slow for CI.
+            let status = std::process::Command::new(env!("CARGO"))
+                .current_dir(workspace_root())
+                .args(["run", "--release", "-p", "papyrus-crashcheck", "--bin", "crashcheck", "--"])
+                .args(&args[1..])
+                .status();
+            match status {
+                Ok(s) if s.success() => ExitCode::SUCCESS,
+                Ok(_) => ExitCode::FAILURE,
+                Err(e) => {
+                    eprintln!("xtask crashcheck: failed to run cargo: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         _ => {
-            eprintln!("usage: cargo xtask lint [--root PATH]");
+            eprintln!("usage: cargo xtask lint [--root PATH] | cargo xtask crashcheck [args...]");
             ExitCode::FAILURE
         }
     }
@@ -128,11 +155,16 @@ fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) {
 const PROTOCOL_PATHS: &[&str] =
     &["crates/mpi/src/fabric.rs", "crates/core/src/db.rs", "crates/core/src/runtime.rs"];
 
+/// Recovery-path files that must tolerate arbitrary crash debris: a panic
+/// here strands the peer ranks at the next collective.
+const RECOVERY_PATHS: &[&str] = &["crates/core/src/ckpt.rs"];
+
 fn lint_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
     let std_sync_applies = !(rel.starts_with("compat/")
         || rel.starts_with("crates/sanity/")
         || rel.starts_with("xtask/"));
     let protocol_applies = PROTOCOL_PATHS.contains(&rel);
+    let recovery_applies = RECOVERY_PATHS.contains(&rel);
     let real_time_applies = rel.starts_with("crates/") && !rel.starts_with("crates/simtime/");
 
     let mut in_tests = false;
@@ -184,6 +216,19 @@ fn lint_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
         {
             findings.push(Finding {
                 rule: "protocol-unwrap",
+                path: rel.into(),
+                line: lineno,
+                text: line.into(),
+            });
+        }
+
+        if recovery_applies
+            && !in_tests
+            && !allowed(line, "recovery-unwrap")
+            && (line.contains(".unwrap()") || line.contains(".expect("))
+        {
+            findings.push(Finding {
+                rule: "recovery-unwrap",
                 path: rel.into(),
                 line: lineno,
                 text: line.into(),
@@ -247,7 +292,13 @@ mod tests {
         let rules = rules_hit(&findings);
         assert_eq!(
             rules,
-            vec!["protocol-unwrap", "real-time", "std-sync-lock", "tel-span-balance"],
+            vec![
+                "protocol-unwrap",
+                "real-time",
+                "recovery-unwrap",
+                "std-sync-lock",
+                "tel-span-balance"
+            ],
             "findings: {:#?}",
             findings
         );
@@ -270,6 +321,17 @@ mod tests {
             "{:#?}",
             findings
         );
+        // Same exemptions for the recovery-path rule: its fixture seeds one
+        // reportable unwrap plus a waived .expect( and a test-module one.
+        assert_eq!(
+            findings.iter().filter(|f| f.rule == "recovery-unwrap").count(),
+            1,
+            "{:#?}",
+            findings
+        );
+        assert!(findings
+            .iter()
+            .any(|f| f.rule == "recovery-unwrap" && f.path == "crates/core/src/ckpt.rs"));
     }
 
     #[test]

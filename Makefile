@@ -1,6 +1,6 @@
 # Convenience targets mirroring what CI runs.
 
-.PHONY: build test fmt clippy lint sanity crashcheck verify trace clean
+.PHONY: build test fmt clippy lint sanity crashcheck chaos verify trace clean
 
 build:
 	cargo build --release --workspace
@@ -31,8 +31,16 @@ crashcheck:
 	cargo xtask crashcheck
 	cargo xtask crashcheck --seed-bug all
 
+# Chaos soak: seeded fault schedules (I/O errors, ENOSPC, slow devices,
+# delay spikes, rank kills) over a multi-rank workload, judged by a KV
+# oracle — no acked-write loss, no phantoms, typed errors, no hangs —
+# then prove the oracle catches two planted protocol bugs.
+chaos:
+	cargo xtask chaos
+	cargo xtask chaos --seed-bug all
+
 # The tier-1 gate: everything CI requires to pass, in one command.
-verify: build test fmt clippy lint crashcheck
+verify: build test fmt clippy lint crashcheck chaos
 	@echo "verify: OK"
 
 # Quick observability smoke: writes trace.json (chrome://tracing / Perfetto).

@@ -1,0 +1,132 @@
+//! CLI for the chaos soak.
+//!
+//! ```text
+//! chaos [--ranks N] [--per-rank K] [--rounds R] [--seeds S]
+//!       [--seed-base B] [--timeout SECS] [--seed-bug MODE|all] [--verbose]
+//! ```
+//!
+//! Without `--seed-bug`: run the default sweep (`S` seeded schedules
+//! cycling all five fault classes) and exit non-zero if any violation is
+//! found. With `--seed-bug`: plant each named protocol bug and exit
+//! non-zero unless every one is detected.
+
+use std::process::ExitCode;
+
+use papyrus_chaos::{bug_by_name, bug_name, chaos_sweep, run_seed_bug, ChaosCfg, SEED_BUGS};
+
+fn main() -> ExitCode {
+    let mut cfg = ChaosCfg::default();
+    let mut seed_base = papyrus_chaos::SEED_BASE;
+    let mut seed_bug: Option<String> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut num = |what: &str| -> Option<u64> {
+            match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) if n > 0 => Some(n),
+                _ => {
+                    eprintln!("chaos: {what} needs a positive integer");
+                    None
+                }
+            }
+        };
+        match arg.as_str() {
+            "--ranks" => match num("--ranks") {
+                Some(n) => cfg.ranks = n as usize,
+                None => return ExitCode::FAILURE,
+            },
+            "--per-rank" => match num("--per-rank") {
+                Some(n) => cfg.per_rank = n as usize,
+                None => return ExitCode::FAILURE,
+            },
+            "--rounds" => match num("--rounds") {
+                Some(n) => cfg.rounds = n as u32,
+                None => return ExitCode::FAILURE,
+            },
+            "--seeds" => match num("--seeds") {
+                Some(n) => cfg.seeds = n as usize,
+                None => return ExitCode::FAILURE,
+            },
+            "--seed-base" => match num("--seed-base") {
+                Some(n) => seed_base = n,
+                None => return ExitCode::FAILURE,
+            },
+            "--timeout" => match num("--timeout") {
+                Some(n) => cfg.timeout_secs = n,
+                None => return ExitCode::FAILURE,
+            },
+            "--seed-bug" => match it.next() {
+                Some(mode) => seed_bug = Some(mode.clone()),
+                None => {
+                    eprintln!("chaos: --seed-bug needs a mode name or `all`");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--verbose" => cfg.verbose = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: chaos [--ranks N] [--per-rank K] [--rounds R] [--seeds S] \
+                     [--seed-base B] [--timeout SECS] [--seed-bug MODE|all] [--verbose]\n\
+                     seed-bug modes: {}",
+                    SEED_BUGS.map(bug_name).join(", ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("chaos: unknown argument `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    match seed_bug {
+        None => {
+            let report = chaos_sweep(&cfg, seed_base);
+            print!("{}", report.render());
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Some(mode) => {
+            let bugs: Vec<_> = if mode == "all" {
+                SEED_BUGS.to_vec()
+            } else {
+                match bug_by_name(&mode) {
+                    Some(b) => vec![b],
+                    None => {
+                        eprintln!(
+                            "chaos: unknown seed-bug `{mode}` (known: {}, all)",
+                            SEED_BUGS.map(bug_name).join(", ")
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+            };
+            let mut detected = 0usize;
+            for bug in &bugs {
+                let report = run_seed_bug(&cfg, *bug);
+                let caught = !report.is_clean();
+                println!(
+                    "seed-bug {:<10} {}",
+                    bug_name(*bug),
+                    if caught {
+                        let v = &report.violations[0];
+                        format!("detected: [{}] {}", v.kind, v.detail)
+                    } else {
+                        "MISSED".to_string()
+                    }
+                );
+                detected += usize::from(caught);
+            }
+            println!("{detected}/{} seeded bugs detected", bugs.len());
+            if detected == bugs.len() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

@@ -158,14 +158,18 @@ pub(crate) fn checkpoint(ctx: &Arc<CtxInner>, db: &Arc<DbInner>, dest: &str) -> 
 
 /// Compaction-thread body of the checkpoint: copy each snapshot SSTable
 /// NVM → PFS, then write this rank's snapshot manifest (and META on rank 0).
-/// Returns the virtual completion stamp.
+/// Returns the virtual completion stamp, or `(stamp, error)` on a typed
+/// failure — `ENOSPC` on the destination aborts the transfer recoverably
+/// (the snapshot's SSTables stay intact on NVM; a partial copy on the PFS
+/// is debris without a committed manifest/META and can be retried over).
 pub(crate) fn run_checkpoint_transfer(
     ctx: &CtxInner,
     db: &Arc<DbInner>,
     dest: &str,
     snapshot: &[SstReader],
     stamp: SimNs,
-) -> SimNs {
+) -> std::result::Result<SimNs, (SimNs, Error)> {
+    let fault_on = papyrus_faultinject::enabled();
     let src_store = ctx.repo_store();
     let pfs = ctx.platform.storage.pfs();
     let me = ctx.rank.rank();
@@ -176,8 +180,24 @@ pub(crate) fn run_checkpoint_transfer(
         for ext in ["data", "index", "bloom"] {
             let src = format!("{}.{ext}", reader.base());
             let dst = format!("{}/{}/r{me}/sst{:010}.{ext}", dest, db.name, reader.ssid());
+            // Source reads go through the infallible path (transient faults
+            // are ridden out inside the store); only destination ENOSPC is
+            // surfaced as a typed, recoverable checkpoint failure.
             if let Some((bytes, read_done)) = src_store.read_all_at(&src, t) {
-                t = pfs.put_at(&dst, bytes, read_done);
+                if !fault_on {
+                    t = pfs.put_at(&dst, bytes, read_done);
+                    continue;
+                }
+                t = match pfs.try_put_at(&dst, bytes.clone(), read_done) {
+                    Ok(done) => done,
+                    Err(papyrus_nvm::IoFault::NoSpace) => {
+                        return Err((
+                            read_done,
+                            Error::StorageFull(format!("checkpoint of db {} to {dest}", db.name)),
+                        ));
+                    }
+                    Err(papyrus_nvm::IoFault::TransientEio) => pfs.put_at(&dst, bytes, read_done),
+                };
             }
         }
     }
@@ -199,7 +219,7 @@ pub(crate) fn run_checkpoint_transfer(
         );
         pfs.fence();
     }
-    t
+    Ok(t)
 }
 
 /// `papyruskv_restart` (§4.2). See [`Context::restart`].

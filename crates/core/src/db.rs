@@ -9,8 +9,10 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use bytes::Bytes;
+use papyrus_faultinject as fi;
 use papyrus_simtime::{Clock, OpStats, SimNs};
 use parking_lot::{Condvar, Mutex, RwLock};
 
@@ -92,6 +94,12 @@ pub struct DbInner {
     /// Operation statistics.
     pub(crate) put_stats: OpStats,
     pub(crate) get_stats: OpStats,
+
+    /// Typed errors raised by background threads (migration to a dead
+    /// owner, `ENOSPC` during flush/compaction) that have no caller to
+    /// return to. Drained by [`Db::take_io_errors`]; under the fault plane
+    /// the chaos oracle uses this to check every failure is typed.
+    pub(crate) io_errors: Mutex<Vec<Error>>,
 
     /// Telemetry handles (interned per rank; near-zero cost when disabled).
     pub(crate) tel: CoreTel,
@@ -242,6 +250,7 @@ impl DbInner {
             peer_readers: Mutex::new(HashMap::new()),
             put_stats: OpStats::new(),
             get_stats: OpStats::new(),
+            io_errors: Mutex::new(Vec::new()),
             tel: CoreTel::new(me),
             opt,
         });
@@ -391,7 +400,26 @@ pub(crate) fn run_flush(ctx: &CtxInner, db: &Arc<DbInner>, mt: Arc<MemTable>, st
 
     let ssid = db.next_ssid.fetch_add(1, Ordering::SeqCst);
     let base = sstable::sst_base(&ctx.repo.prefix, &db.name, me, ssid);
-    let (reader, done) = sstable::build_at(&store, &base, ssid, &entries, stamp);
+    let (reader, done) = if fi::enabled() {
+        match sstable::try_build_at(&store, &base, ssid, &entries, stamp) {
+            Ok(built) => built,
+            Err(fault) => {
+                // Record the typed failure, then fall back to the riding-out
+                // build: flushes must not drop acked data, and the store's
+                // infallible path escapes the fault window deterministically
+                // (a partial triple left by the failed attempt is overwritten
+                // whole). `ENOSPC` is surfaced; transient EIO is just retried.
+                if fault == papyrus_nvm::IoFault::NoSpace {
+                    db.io_errors
+                        .lock()
+                        .push(Error::StorageFull(format!("flush sst{ssid} of db {}", db.name)));
+                }
+                sstable::build_at(&store, &base, ssid, &entries, stamp)
+            }
+        }
+    } else {
+        sstable::build_at(&store, &base, ssid, &entries, stamp)
+    };
     db.ssts.write().push(reader);
 
     // Retire the immutable MemTable only after the SSTable is visible, so
@@ -435,9 +463,22 @@ fn run_merge_compaction(ctx: &CtxInner, db: &Arc<DbInner>, stamp: SimNs) {
     let new_ssid = db.next_ssid.fetch_add(1, Ordering::SeqCst);
     let base = sstable::sst_base(&ctx.repo.prefix, &db.name, me, new_ssid);
     // Merging ALL live tables: tombstones can be dropped outright.
-    let Ok((merged, done)) = sstable::merge_at(&store, &snapshot, &base, new_ssid, true, stamp)
-    else {
-        return;
+    let merge_res = if fi::enabled() {
+        // `ENOSPC` aborts the compaction with a typed error: the inputs stay
+        // live and referenced by the manifest, so nothing is lost and the
+        // merge re-triggers at the next SSID multiple. Debris from a partial
+        // merged triple is unreferenced and harmless.
+        sstable::try_merge_at(&store, &snapshot, &base, new_ssid, true, stamp)
+    } else {
+        sstable::merge_at(&store, &snapshot, &base, new_ssid, true, stamp)
+    };
+    let (merged, done) = match merge_res {
+        Ok(ok) => ok,
+        Err(e @ Error::StorageFull(_)) => {
+            db.io_errors.lock().push(e);
+            return;
+        }
+        Err(_) => return,
     };
     {
         let mut ssts = db.ssts.write();
@@ -481,14 +522,38 @@ pub(crate) fn run_migration(ctx: &CtxInner, db: &Arc<DbInner>, mt: Arc<MemTable>
     }
     let mut owners: Vec<usize> = per_owner.keys().copied().collect();
     owners.sort_unstable();
+    let fault_on = fi::enabled();
     let mut last_arrive = stamp;
     for owner in owners {
         let records = &per_owner[&owner];
         pkv_trace!("[r{}] migrate {} records -> r{owner}", ctx.rank.rank(), records.len());
-        let payload = msg::encode_migrate(db.id, records);
-        let arrive = ctx.comm_req.send_at(owner, tags::MIGRATE, payload, stamp);
-        last_arrive = last_arrive.max(arrive);
-        db.migrate_backlog.merge(arrive);
+        if !fault_on {
+            let payload = msg::encode_migrate(db.id, 0, records);
+            let arrive = ctx.comm_req.send_at(owner, tags::MIGRATE, payload, stamp);
+            last_arrive = last_arrive.max(arrive);
+            db.migrate_backlog.merge(arrive);
+            continue;
+        }
+        // Fault plane on: the batch is acked by the owner's handler so a
+        // black-holed send is detected and resent (re-applying a batch is
+        // idempotent). A confirmed-dead owner's records are dropped with a
+        // typed error in the sink — their keys are unavailable until
+        // restart, which the chaos oracle accounts for.
+        match crate::runtime::rpc_with_retry(
+            ctx,
+            &db.tel,
+            owner,
+            tags::MIGRATE,
+            tags::MIGRATE_ACK,
+            "migrate",
+            &mut |seq| msg::encode_migrate(db.id, seq, records),
+        ) {
+            Ok(ack) => {
+                last_arrive = last_arrive.max(ack.stamp);
+                db.migrate_backlog.merge(ack.stamp);
+            }
+            Err(e) => db.io_errors.lock().push(e),
+        }
     }
     db.tel.migrate_count.inc();
     db.tel.migrate_ns.record(last_arrive.saturating_sub(stamp));
@@ -642,19 +707,19 @@ fn remote_get(
     key: &[u8],
     owner: usize,
     clock: &Clock,
-) -> Lookup {
+) -> Result<Lookup> {
     let mem = &ctx.platform.profile.mem;
     let state = *db.state.read();
     if state.consistency == Consistency::Relaxed {
         clock.advance(mem.op_ns(key.len() as u64));
         if let Some(e) = db.remote.lock().get(key) {
-            return Lookup::from(e);
+            return Ok(Lookup::from(e));
         }
         let imm = db.imm_remote.read();
         for mt in imm.iter().rev() {
             clock.advance(mem.op_ns(key.len() as u64));
             if let Some(e) = mt.get(key) {
-                return Lookup::from(e);
+                return Ok(Lookup::from(e));
             }
         }
     }
@@ -663,24 +728,41 @@ fn remote_get(
         if let Some(hit) = db.remote_cache.lock().get(key) {
             clock.advance(mem.op_ns((key.len() + hit.value.len()) as u64));
             db.get_stats.hit();
-            return if hit.tombstone { Lookup::Tombstone } else { Lookup::Found(hit.value) };
+            return Ok(if hit.tombstone { Lookup::Tombstone } else { Lookup::Found(hit.value) });
         }
         db.get_stats.miss();
     }
 
-    // Request/response round trip through the owner's message handler.
+    // Request/response round trip through the owner's message handler. The
+    // fast path (fault plane off) is a plain blocking exchange; under the
+    // fault plane the request gets a deadline, seq-matched retries, and
+    // failure detection — a confirmed-dead owner surfaces as
+    // `Error::RankUnavailable` instead of a hang, while local and
+    // surviving-rank keys stay serviceable (degraded mode).
     let me = ctx.rank.rank();
-    let round_trip = |group: u32| -> Option<GetResp> {
-        let payload = msg::encode_get_req(db.id, group, key);
-        ctx.comm_req.send(owner, tags::GET_REQ, payload);
-        let m = ctx
-            .comm_rep
-            .recv(papyrus_mpi::RecvSrc::Rank(owner), papyrus_mpi::RecvTag::Tag(tags::GET_RESP));
-        msg::decode_get_resp(m.payload).ok()
+    let round_trip = |group: u32| -> Result<Option<GetResp>> {
+        if !fi::enabled() {
+            let payload = msg::encode_get_req(db.id, group, 0, key);
+            ctx.comm_req.send(owner, tags::GET_REQ, payload);
+            let m = ctx
+                .comm_rep
+                .recv(papyrus_mpi::RecvSrc::Rank(owner), papyrus_mpi::RecvTag::Tag(tags::GET_RESP));
+            return Ok(msg::decode_get_resp(m.payload).ok().map(|(_, resp)| resp));
+        }
+        let m = crate::runtime::rpc_with_retry(
+            ctx,
+            &db.tel,
+            owner,
+            tags::GET_REQ,
+            tags::GET_RESP,
+            "remote get",
+            &mut |seq| msg::encode_get_req(db.id, group, seq, key),
+        )?;
+        Ok(msg::decode_get_resp(m.payload).ok().map(|(_, resp)| resp))
     };
-    let Some(resp) = round_trip(ctx.group_of(me)) else { return Lookup::Miss };
+    let Some(resp) = round_trip(ctx.group_of(me))? else { return Ok(Lookup::Miss) };
     pkv_trace!("[r{me}] remote_get key={:?} -> {:?}", String::from_utf8_lossy(key), resp);
-    match resp {
+    Ok(match resp {
         GetResp::Found(v) => {
             if remote_cache_on {
                 db.remote_cache.lock().insert(key, CacheEntry::value(v.clone()));
@@ -696,7 +778,7 @@ fn remote_get(
                     // the storage-group fast path disabled (FULL_GROUP
                     // sentinel): the owner searches its own SSTables under
                     // its registry lock, which compaction cannot race.
-                    match round_trip(msg::NO_GROUP) {
+                    match round_trip(msg::NO_GROUP)? {
                         Some(GetResp::Found(v)) => {
                             if remote_cache_on {
                                 db.remote_cache.lock().insert(key, CacheEntry::value(v.clone()));
@@ -709,7 +791,7 @@ fn remote_get(
                 hit => hit,
             }
         }
-    }
+    })
 }
 
 /// Storage-group shared-SSTable search: read the owner's SSTables directly
@@ -845,7 +927,7 @@ pub(crate) fn barrier_inner(ctx: &CtxInner, db: &Arc<DbInner>, level: BarrierLev
     for r in 0..n {
         ctx.comm_req.send(r, tags::BARRIER_MARK, mark.clone());
     }
-    let mark_stamp = {
+    let mark_stamp = if !fi::enabled() {
         let mut sync = db.sync.lock();
         loop {
             if let Some(&(count, stamp)) = sync.barrier_marks.get(&epoch) {
@@ -856,6 +938,12 @@ pub(crate) fn barrier_inner(ctx: &CtxInner, db: &Arc<DbInner>, level: BarrierLev
             }
             db.sync_cv.wait(&mut sync);
         }
+    } else {
+        // Fault plane on: a dead rank never sends its mark, so the wait is
+        // timed and probes the failure detector between slices (outside the
+        // sync lock so the handler can keep recording marks). The dead rank
+        // is reported by number instead of hanging the barrier.
+        await_barrier_marks_faulty(ctx, db, epoch, n)?
     };
     clock.merge(mark_stamp);
     clock.merge(db.ingest_backlog.now());
@@ -870,13 +958,54 @@ pub(crate) fn barrier_inner(ctx: &CtxInner, db: &Arc<DbInner>, level: BarrierLev
         clock.merge(db.flush_backlog.now());
     }
 
-    ctx.comm_ctl.barrier();
+    if fi::enabled() {
+        ctx.comm_ctl.try_barrier().map_err(Error::RankUnavailable)?;
+    } else {
+        ctx.comm_ctl.barrier();
+    }
     if db.tel.on() {
         let end = clock.now();
         db.tel.barrier_wait_ns.record(end.saturating_sub(barrier_start));
         db.tel.rec.span("core", "barrier.wait", TID_APP, barrier_start, end);
     }
     Ok(())
+}
+
+/// Timed wait for all `n` barrier marks of `epoch`, probing the failure
+/// detector on each timeout slice. Returns the max mark stamp, or
+/// `Error::RankUnavailable` naming the first confirmed-dead rank.
+fn await_barrier_marks_faulty(
+    ctx: &CtxInner,
+    db: &Arc<DbInner>,
+    epoch: u64,
+    n: usize,
+) -> Result<SimNs> {
+    loop {
+        {
+            let mut sync = db.sync.lock();
+            if let Some(&(count, stamp)) = sync.barrier_marks.get(&epoch) {
+                if count == n {
+                    sync.barrier_marks.remove(&epoch);
+                    return Ok(stamp);
+                }
+            }
+            if !db.sync_cv.wait_for(&mut sync, Duration::from_millis(10)).timed_out() {
+                continue; // woken by a new mark: re-check under the lock
+            }
+        }
+        // Slice expired with marks missing: waiting burns virtual time too
+        // (without this a waiter whose clock lags the plan's kill times
+        // would probe "alive" forever), then suspect a dead sender. Self
+        // counts — see `Communicator::any_dead_member`. Only with the
+        // plane armed: an unconditional advance would bill fault-free
+        // runs for wall-clock scheduling noise.
+        if fi::enabled() {
+            ctx.clock().advance(fi::PROBE_DEADLINE_CAP_NS);
+        }
+        if let Some((_, world)) = ctx.comm_req.any_dead_member() {
+            return Err(Error::RankUnavailable(world));
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -990,13 +1119,28 @@ impl Db {
             }
             Consistency::Sequential => {
                 // "sent to the remote owner rank synchronously and directly
-                // without staging in the remote MemTable" (§3.1).
+                // without staging in the remote MemTable" (§3.1). Under the
+                // fault plane the synchronous put is deadline-guarded and
+                // retried (idempotent re-apply); a confirmed-dead owner
+                // surfaces as `Error::RankUnavailable`.
                 let rec = KvRecord { key: key.to_vec(), value, tombstone };
-                ctx.comm_req.send(owner, tags::PUT_SYNC, msg::encode_put_sync(db.id, &rec));
-                ctx.comm_rep.recv(
-                    papyrus_mpi::RecvSrc::Rank(owner),
-                    papyrus_mpi::RecvTag::Tag(tags::PUT_ACK),
-                );
+                if fi::enabled() {
+                    crate::runtime::rpc_with_retry(
+                        ctx,
+                        &db.tel,
+                        owner,
+                        tags::PUT_SYNC,
+                        tags::PUT_ACK,
+                        "synchronous put",
+                        &mut |seq| msg::encode_put_sync(db.id, seq, &rec),
+                    )?;
+                } else {
+                    ctx.comm_req.send(owner, tags::PUT_SYNC, msg::encode_put_sync(db.id, 0, &rec));
+                    ctx.comm_rep.recv(
+                        papyrus_mpi::RecvSrc::Rank(owner),
+                        papyrus_mpi::RecvTag::Tag(tags::PUT_ACK),
+                    );
+                }
                 if db.tel.on() {
                     db.tel.put_sync.inc();
                     db.tel.put_ns.record(clock.now().saturating_sub(start));
@@ -1034,7 +1178,7 @@ impl Db {
                 db.tel.get_remote.inc();
                 db.tel.get_remote_ns.record(clock.now().saturating_sub(start));
             }
-            res
+            res?
         };
         match res {
             Lookup::Found(v) => Ok(v),
@@ -1142,6 +1286,14 @@ impl Db {
     /// Get-side statistics (ops, bytes, cache hits/misses).
     pub fn get_stats(&self) -> &OpStats {
         &self.inner.get_stats
+    }
+
+    /// Drain the typed errors raised by background threads (migration to a
+    /// confirmed-dead owner, `ENOSPC` during flush or compaction). Empty in
+    /// a healthy run; under the fault plane applications poll this after
+    /// fences/barriers to learn about degraded-mode data.
+    pub fn take_io_errors(&self) -> Vec<Error> {
+        std::mem::take(&mut *self.inner.io_errors.lock())
     }
 
     /// Number of live SSTables on this rank (diagnostics).

@@ -25,6 +25,17 @@ pub enum Error {
     InvalidSnapshot(String),
     /// Internal runtime failure (wire-format corruption, missing object).
     Internal(String),
+    /// The rank owning the touched key range is dead (failure detector
+    /// confirmed it). Local and surviving-rank keys stay serviceable;
+    /// retrying against the same rank will keep failing until restart.
+    RankUnavailable(usize),
+    /// NVM device out of space (`ENOSPC`). Recoverable: the operation that
+    /// surfaced it (checkpoint, flush, compaction) can be retried after
+    /// space is reclaimed; no committed state was lost.
+    StorageFull(String),
+    /// A remote operation exhausted its retry/backoff budget without the
+    /// peer being confirmed dead.
+    Timeout(String),
 }
 
 impl Error {
@@ -38,6 +49,9 @@ impl Error {
             Error::InvalidArgument(_) => -4,
             Error::InvalidSnapshot(_) => -5,
             Error::Internal(_) => -6,
+            Error::RankUnavailable(_) => -7,
+            Error::StorageFull(_) => -8,
+            Error::Timeout(_) => -9,
         }
     }
 }
@@ -51,6 +65,11 @@ impl fmt::Display for Error {
             Error::InvalidArgument(what) => write!(f, "PAPYRUSKV_INVALID_ARGUMENT: {what}"),
             Error::InvalidSnapshot(what) => write!(f, "PAPYRUSKV_INVALID_SNAPSHOT: {what}"),
             Error::Internal(what) => write!(f, "PAPYRUSKV_INTERNAL: {what}"),
+            Error::RankUnavailable(rank) => {
+                write!(f, "PAPYRUSKV_RANK_UNAVAILABLE: rank {rank}")
+            }
+            Error::StorageFull(what) => write!(f, "PAPYRUSKV_STORAGE_FULL: {what}"),
+            Error::Timeout(what) => write!(f, "PAPYRUSKV_TIMEOUT: {what}"),
         }
     }
 }
@@ -70,6 +89,9 @@ mod tests {
             Error::InvalidArgument("x"),
             Error::InvalidSnapshot("y".into()),
             Error::Internal("z".into()),
+            Error::RankUnavailable(3),
+            Error::StorageFull("w".into()),
+            Error::Timeout("t".into()),
         ];
         let mut codes: Vec<i32> = errs.iter().map(Error::code).collect();
         assert!(codes.iter().all(|&c| c < 0));
@@ -82,5 +104,7 @@ mod tests {
     fn display_names_match_c_api() {
         assert_eq!(Error::NotFound.to_string(), "PAPYRUSKV_NOT_FOUND");
         assert_eq!(Error::InvalidDb.to_string(), "PAPYRUSKV_INVALID_DB");
+        assert_eq!(Error::RankUnavailable(2).to_string(), "PAPYRUSKV_RANK_UNAVAILABLE: rank 2");
+        assert_eq!(Error::StorageFull("ckpt".into()).to_string(), "PAPYRUSKV_STORAGE_FULL: ckpt");
     }
 }

@@ -26,7 +26,20 @@ pub mod tags {
     pub const PUT_ACK: u32 = 10;
     /// Remote get response.
     pub const GET_RESP: u32 = 11;
+    /// Migration-batch acknowledgement (only sent while the
+    /// `PAPYRUS_FAULTS` plane is on; the gate is process-global, so sender
+    /// and receiver always agree on whether acks flow).
+    pub const MIGRATE_ACK: u32 = 12;
 }
+
+/// RPC sequence number carried by every request and echoed by its reply.
+///
+/// Under the fault plane a timed-out request is *resent*; the reply to the
+/// original attempt may still arrive later. The echoed sequence number lets
+/// the caller discard such stale replies instead of pairing them with the
+/// wrong RPC. All request payloads carry it unconditionally (8 bytes) so the
+/// wire format does not depend on the gate.
+pub type RpcSeq = u64;
 
 /// Sentinel storage-group id meaning "do not use the shared-SSTable fast
 /// path; perform a full local get" — used when a caller's shared search
@@ -74,13 +87,14 @@ fn get_bytes(buf: &mut Bytes) -> Result<Bytes> {
     Ok(buf.split_to(len))
 }
 
-/// Encode a migration batch: `[db: u32][count: u32]` then per record
-/// `[tomb: u8][key][value]` (length-prefixed).
-pub fn encode_migrate(db: u32, records: &[KvRecord]) -> Bytes {
+/// Encode a migration batch: `[db: u32][seq: u64][count: u32]` then per
+/// record `[tomb: u8][key][value]` (length-prefixed).
+pub fn encode_migrate(db: u32, seq: RpcSeq, records: &[KvRecord]) -> Bytes {
     let mut buf = BytesMut::with_capacity(
-        8 + records.iter().map(|r| 9 + r.key.len() + r.value.len()).sum::<usize>(),
+        16 + records.iter().map(|r| 9 + r.key.len() + r.value.len()).sum::<usize>(),
     );
     buf.put_u32_le(db);
+    buf.put_u64_le(seq);
     buf.put_u32_le(records.len() as u32);
     for r in records {
         buf.put_u8(u8::from(r.tombstone));
@@ -91,11 +105,12 @@ pub fn encode_migrate(db: u32, records: &[KvRecord]) -> Bytes {
 }
 
 /// Decode a migration batch.
-pub fn decode_migrate(mut buf: Bytes) -> Result<(u32, Vec<KvRecord>)> {
-    if buf.remaining() < 8 {
+pub fn decode_migrate(mut buf: Bytes) -> Result<(u32, RpcSeq, Vec<KvRecord>)> {
+    if buf.remaining() < 16 {
         return Err(Error::Internal("truncated migrate header".into()));
     }
     let db = buf.get_u32_le();
+    let seq = buf.get_u64_le();
     let count = buf.get_u32_le() as usize;
     // `count` comes off the wire: cap the preallocation so corrupt headers
     // cannot trigger huge allocations (the decode loop still bails on
@@ -110,52 +125,72 @@ pub fn decode_migrate(mut buf: Bytes) -> Result<(u32, Vec<KvRecord>)> {
         let value = get_bytes(&mut buf)?;
         records.push(KvRecord { key, value, tombstone });
     }
-    Ok((db, records))
+    Ok((db, seq, records))
 }
 
 /// Encode a synchronous put: same record format, count = 1 implied.
-pub fn encode_put_sync(db: u32, record: &KvRecord) -> Bytes {
-    encode_migrate(db, std::slice::from_ref(record))
+pub fn encode_put_sync(db: u32, seq: RpcSeq, record: &KvRecord) -> Bytes {
+    encode_migrate(db, seq, std::slice::from_ref(record))
 }
 
 /// Decode a synchronous put.
-pub fn decode_put_sync(buf: Bytes) -> Result<(u32, KvRecord)> {
-    let (db, mut records) = decode_migrate(buf)?;
+pub fn decode_put_sync(buf: Bytes) -> Result<(u32, RpcSeq, KvRecord)> {
+    let (db, seq, mut records) = decode_migrate(buf)?;
     if records.len() != 1 {
         return Err(Error::Internal("put_sync must carry one record".into()));
     }
-    Ok((db, records.pop().unwrap()))
+    let record = records.pop().ok_or_else(|| Error::Internal("put_sync record vanished".into()))?;
+    Ok((db, seq, record))
 }
 
-/// Encode a remote-get request: `[db: u32][group: u32][key]`. The caller's
-/// storage-group id lets the owner decide the shared-SSTable fast path
-/// (§2.7).
-pub fn encode_get_req(db: u32, caller_group: u32, key: &[u8]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(12 + key.len());
+/// Encode a request acknowledgement (`PUT_ACK`/`MIGRATE_ACK`): the echoed
+/// sequence number.
+pub fn encode_ack(seq: RpcSeq) -> Bytes {
+    let mut buf = BytesMut::with_capacity(8);
+    buf.put_u64_le(seq);
+    buf.freeze()
+}
+
+/// Decode an acknowledgement.
+pub fn decode_ack(mut buf: Bytes) -> Result<RpcSeq> {
+    if buf.remaining() < 8 {
+        return Err(Error::Internal("truncated ack".into()));
+    }
+    Ok(buf.get_u64_le())
+}
+
+/// Encode a remote-get request: `[db: u32][group: u32][seq: u64][key]`.
+/// The caller's storage-group id lets the owner decide the shared-SSTable
+/// fast path (§2.7).
+pub fn encode_get_req(db: u32, caller_group: u32, seq: RpcSeq, key: &[u8]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(20 + key.len());
     buf.put_u32_le(db);
     buf.put_u32_le(caller_group);
+    buf.put_u64_le(seq);
     put_bytes(&mut buf, key);
     buf.freeze()
 }
 
 /// Decode a remote-get request.
-pub fn decode_get_req(mut buf: Bytes) -> Result<(u32, u32, Bytes)> {
-    if buf.remaining() < 8 {
+pub fn decode_get_req(mut buf: Bytes) -> Result<(u32, u32, RpcSeq, Bytes)> {
+    if buf.remaining() < 16 {
         return Err(Error::Internal("truncated get_req".into()));
     }
     let db = buf.get_u32_le();
     let group = buf.get_u32_le();
+    let seq = buf.get_u64_le();
     let key = get_bytes(&mut buf)?;
-    Ok((db, group, key))
+    Ok((db, group, seq, key))
 }
 
 const RESP_FOUND: u8 = 0;
 const RESP_NOT_FOUND: u8 = 1;
 const RESP_SEARCH_SHARED: u8 = 2;
 
-/// Encode a remote-get response.
-pub fn encode_get_resp(resp: &GetResp) -> Bytes {
+/// Encode a remote-get response: `[seq: u64][opcode: u8]` + body.
+pub fn encode_get_resp(seq: RpcSeq, resp: &GetResp) -> Bytes {
     let mut buf = BytesMut::new();
+    buf.put_u64_le(seq);
     match resp {
         GetResp::Found(v) => {
             buf.put_u8(RESP_FOUND);
@@ -174,13 +209,14 @@ pub fn encode_get_resp(resp: &GetResp) -> Bytes {
 }
 
 /// Decode a remote-get response.
-pub fn decode_get_resp(mut buf: Bytes) -> Result<GetResp> {
-    if buf.remaining() < 1 {
-        return Err(Error::Internal("empty get_resp".into()));
+pub fn decode_get_resp(mut buf: Bytes) -> Result<(RpcSeq, GetResp)> {
+    if buf.remaining() < 9 {
+        return Err(Error::Internal("truncated get_resp".into()));
     }
-    match buf.get_u8() {
-        RESP_FOUND => Ok(GetResp::Found(get_bytes(&mut buf)?)),
-        RESP_NOT_FOUND => Ok(GetResp::NotFound),
+    let seq = buf.get_u64_le();
+    let resp = match buf.get_u8() {
+        RESP_FOUND => GetResp::Found(get_bytes(&mut buf)?),
+        RESP_NOT_FOUND => GetResp::NotFound,
         RESP_SEARCH_SHARED => {
             if buf.remaining() < 4 {
                 return Err(Error::Internal("truncated search_shared".into()));
@@ -189,10 +225,11 @@ pub fn decode_get_resp(mut buf: Bytes) -> Result<GetResp> {
             if buf.remaining() < n.saturating_mul(8) {
                 return Err(Error::Internal("truncated ssid list".into()));
             }
-            Ok(GetResp::SearchShared((0..n).map(|_| buf.get_u64_le()).collect()))
+            GetResp::SearchShared((0..n).map(|_| buf.get_u64_le()).collect())
         }
-        op => Err(Error::Internal(format!("unknown get_resp opcode {op}"))),
-    }
+        op => return Err(Error::Internal(format!("unknown get_resp opcode {op}"))),
+    };
+    Ok((seq, resp))
 }
 
 /// Encode a barrier marker: `[db: u32][epoch: u64]`.
@@ -226,37 +263,37 @@ mod tests {
     #[test]
     fn migrate_roundtrip() {
         let records = vec![rec("a", "1", false), rec("dead", "", true), rec("b", "22", false)];
-        let (db, got) = decode_migrate(encode_migrate(7, &records)).unwrap();
-        assert_eq!(db, 7);
+        let (db, seq, got) = decode_migrate(encode_migrate(7, 42, &records)).unwrap();
+        assert_eq!((db, seq), (7, 42));
         assert_eq!(got, records);
     }
 
     #[test]
     fn migrate_empty_batch() {
-        let (db, got) = decode_migrate(encode_migrate(0, &[])).unwrap();
-        assert_eq!(db, 0);
+        let (db, seq, got) = decode_migrate(encode_migrate(0, 0, &[])).unwrap();
+        assert_eq!((db, seq), (0, 0));
         assert!(got.is_empty());
     }
 
     #[test]
     fn put_sync_roundtrip() {
         let r = rec("key", "value", false);
-        let (db, got) = decode_put_sync(encode_put_sync(3, &r)).unwrap();
-        assert_eq!(db, 3);
+        let (db, seq, got) = decode_put_sync(encode_put_sync(3, 9, &r)).unwrap();
+        assert_eq!((db, seq), (3, 9));
         assert_eq!(got, r);
     }
 
     #[test]
     fn put_sync_rejects_multi_record() {
-        let batch = encode_migrate(1, &[rec("a", "1", false), rec("b", "2", false)]);
+        let batch = encode_migrate(1, 0, &[rec("a", "1", false), rec("b", "2", false)]);
         assert!(decode_put_sync(batch).is_err());
     }
 
     #[test]
     fn get_req_roundtrip() {
-        let buf = encode_get_req(9, 2, b"the-key");
-        let (db, group, key) = decode_get_req(buf).unwrap();
-        assert_eq!((db, group), (9, 2));
+        let buf = encode_get_req(9, 2, 77, b"the-key");
+        let (db, group, seq, key) = decode_get_req(buf).unwrap();
+        assert_eq!((db, group, seq), (9, 2, 77));
         assert_eq!(&key[..], b"the-key");
     }
 
@@ -268,8 +305,22 @@ mod tests {
             GetResp::SearchShared(vec![5, 3, 1]),
             GetResp::SearchShared(vec![]),
         ] {
-            assert_eq!(decode_get_resp(encode_get_resp(&resp)).unwrap(), resp);
+            assert_eq!(decode_get_resp(encode_get_resp(13, &resp)).unwrap(), (13, resp));
         }
+    }
+
+    #[test]
+    fn ack_roundtrip() {
+        assert_eq!(decode_ack(encode_ack(0xdead_beef)).unwrap(), 0xdead_beef);
+    }
+
+    #[test]
+    fn stale_reply_seq_distinguishable() {
+        // Two replies to different attempts: the caller pairs by seq.
+        let stale = encode_get_resp(1, &GetResp::NotFound);
+        let fresh = encode_get_resp(2, &GetResp::Found(Bytes::from_static(b"v")));
+        assert_eq!(decode_get_resp(stale).unwrap().0, 1);
+        assert_eq!(decode_get_resp(fresh).unwrap().0, 2);
     }
 
     #[test]
@@ -285,9 +336,11 @@ mod tests {
         assert!(decode_get_resp(Bytes::new()).is_err());
         assert!(decode_get_resp(Bytes::from_static(&[9])).is_err());
         assert!(decode_barrier_mark(Bytes::from_static(&[0, 0])).is_err());
+        assert!(decode_ack(Bytes::from_static(&[1, 2, 3])).is_err());
         // Count says 3 records but body holds none.
         let mut bad = BytesMut::new();
         bad.put_u32_le(0);
+        bad.put_u64_le(0);
         bad.put_u32_le(3);
         assert!(decode_migrate(bad.freeze()).is_err());
     }
@@ -296,7 +349,7 @@ mod tests {
     fn large_payload_roundtrip() {
         let big = "x".repeat(1 << 20);
         let r = rec("k", &big, false);
-        let (_, got) = decode_put_sync(encode_put_sync(0, &r)).unwrap();
+        let (_, _, got) = decode_put_sync(encode_put_sync(0, 1, &r)).unwrap();
         assert_eq!(got.value.len(), 1 << 20);
     }
 }

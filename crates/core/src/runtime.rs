@@ -16,11 +16,13 @@
 //! The runtime duplicates independent communicators at init so its internal
 //! traffic never collides with application messages.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use papyrus_mpi::{Communicator, RankCtx, RecvSrc, RecvTag};
+use papyrus_faultinject as fi;
+use papyrus_mpi::{Communicator, Message, RankCtx, RankStatus, RecvSrc, RecvTag};
 use papyrus_nvm::{NvmStore, StorageMap, SystemProfile};
 use papyrus_simtime::{Clock, SimNs};
 use parking_lot::{Condvar, Mutex};
@@ -119,7 +121,10 @@ pub struct Event {
 }
 
 struct EventInner {
-    done: Mutex<Option<SimNs>>,
+    /// Completion stamp plus the typed error, if the operation failed. The
+    /// stamp is always present on completion so `wait` keeps its legacy
+    /// "returns a stamp" contract even for failed operations.
+    done: Mutex<Option<(SimNs, Option<Error>)>>,
     cv: Condvar,
 }
 
@@ -143,7 +148,16 @@ impl Event {
 
     pub(crate) fn complete(&self, stamp: SimNs) {
         let mut g = self.inner.done.lock();
-        *g = Some(stamp);
+        *g = Some((stamp, None));
+        self.inner.cv.notify_all();
+    }
+
+    /// Complete the event with a typed failure (e.g. `StorageFull` from a
+    /// checkpoint transfer that hit `ENOSPC`). `wait` still returns the
+    /// stamp; `wait_result` surfaces the error.
+    pub(crate) fn complete_err(&self, stamp: SimNs, err: Error) {
+        let mut g = self.inner.done.lock();
+        *g = Some((stamp, Some(err)));
         self.inner.cv.notify_all();
     }
 
@@ -152,19 +166,34 @@ impl Event {
         self.inner.done.lock().is_some()
     }
 
-    /// `papyruskv_wait`: block until the pending operation completes, merge
-    /// its completion stamp into the rank clock, and return the stamp.
-    pub fn wait(&self) -> SimNs {
+    fn wait_inner(&self) -> (SimNs, Option<Error>) {
         let mut g = self.inner.done.lock();
-        let stamp = loop {
-            if let Some(stamp) = *g {
-                break stamp;
+        let done = loop {
+            if let Some(ref done) = *g {
+                break done.clone();
             }
             self.inner.cv.wait(&mut g);
         };
         drop(g);
-        self.clock.merge(stamp);
-        stamp
+        self.clock.merge(done.0);
+        done
+    }
+
+    /// `papyruskv_wait`: block until the pending operation completes, merge
+    /// its completion stamp into the rank clock, and return the stamp.
+    pub fn wait(&self) -> SimNs {
+        self.wait_inner().0
+    }
+
+    /// Like [`Event::wait`] but surfacing the typed outcome: `Ok(stamp)` on
+    /// success, the operation's error (e.g. [`Error::StorageFull`]) on
+    /// failure. The stamp is merged into the rank clock either way.
+    pub fn wait_result(&self) -> Result<SimNs> {
+        let (stamp, err) = self.wait_inner();
+        match err {
+            None => Ok(stamp),
+            Some(e) => Err(e),
+        }
     }
 }
 
@@ -209,6 +238,10 @@ pub(crate) struct CtxInner {
     pub dbs: Mutex<Vec<Arc<DbInner>>>,
     pub compact_q: Arc<BlockingQueue<CompactJob>>,
     pub migrate_q: Arc<BlockingQueue<MigrateJob>>,
+    /// RPC sequence numbers for this rank's outgoing requests (app thread
+    /// and dispatcher thread share the space; replies echo the seq so stale
+    /// replies from timed-out attempts are discarded).
+    rpc_seq: AtomicU64,
     threads: Mutex<Vec<JoinHandle<()>>>,
     finalized: AtomicBool,
 }
@@ -250,6 +283,118 @@ impl CtxInner {
 
     pub fn clock(&self) -> &Clock {
         self.rank.clock()
+    }
+
+    /// Next RPC sequence number (unique per rank; never 0).
+    pub(crate) fn next_rpc_seq(&self) -> msg::RpcSeq {
+        self.rpc_seq.fetch_add(1, Ordering::Relaxed) + 1
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Failure-aware RPC
+// ---------------------------------------------------------------------------
+
+/// Virtual backoff before an RPC retry: first delay ~100 µs, doubling to a
+/// 50 ms cap (with deterministic seeded jitter from `papyrus_faultinject`).
+const RPC_BACKOFF_BASE_NS: u64 = 100_000;
+const RPC_BACKOFF_CAP_NS: u64 = 50_000_000;
+/// Real-time receive deadline for the first attempt; doubles per retry. The
+/// deadline is wall-clock because it bounds how long the thread parks before
+/// suspecting the peer — protocol time stays virtual.
+const RPC_TIMEOUT_INIT: Duration = Duration::from_millis(20);
+/// Attempts before giving up with `Error::Timeout` on a peer that is slow
+/// but not confirmed dead.
+const RPC_MAX_ATTEMPTS: u32 = 5;
+
+/// The echoed sequence number leading every reply payload (`encode_ack` and
+/// `encode_get_resp` both start with the seq, little-endian).
+fn peek_seq(payload: &bytes::Bytes) -> Option<msg::RpcSeq> {
+    payload.first_chunk::<8>().map(|b| u64::from_le_bytes(*b))
+}
+
+/// Send a request and await its seq-matched reply, with deadline, bounded
+/// retry, and failure detection (fault plane on only; callers keep the
+/// plain send/recv fast path when the gate is off).
+///
+/// Per attempt: send with a fresh seq, then wait up to the deadline for a
+/// reply echoing that seq (stale replies from earlier attempts are
+/// discarded). On timeout, run a failure-detector confirmation round
+/// against the owner — a confirmed-dead owner yields
+/// [`Error::RankUnavailable`] — otherwise charge a deterministic virtual
+/// backoff and retry with a doubled deadline, up to [`RPC_MAX_ATTEMPTS`]
+/// ([`Error::Timeout`] after that).
+///
+/// Retries are safe: PUT_SYNC / MIGRATE re-apply the same records
+/// idempotently and GET_REQ is read-only.
+pub(crate) fn rpc_with_retry(
+    ctx: &CtxInner,
+    tel: &crate::tel::CoreTel,
+    owner: usize,
+    req_tag: u32,
+    resp_tag: u32,
+    what: &str,
+    encode: &mut dyn FnMut(msg::RpcSeq) -> bytes::Bytes,
+) -> Result<Message> {
+    let me = ctx.rank.rank();
+    let mut backoff = fi::Backoff::new(
+        fi::mix(me as u64, fi::mix(owner as u64, u64::from(req_tag))),
+        RPC_BACKOFF_BASE_NS,
+        RPC_BACKOFF_CAP_NS,
+    );
+    let mut deadline = RPC_TIMEOUT_INIT;
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let seq = ctx.next_rpc_seq();
+        ctx.comm_req.send(owner, req_tag, encode(seq));
+        if fi::planted_bug() == Some(fi::PlantedBug::Hang) {
+            // Planted bug (chaos `--seed-bug hang`): a blocking receive
+            // where a deadline belongs. With the request black-holed this
+            // never returns; the soak watchdog must catch it.
+            let m = ctx.comm_rep.recv(RecvSrc::Rank(owner), RecvTag::Tag(resp_tag));
+            return Ok(m);
+        }
+        let reply = loop {
+            match ctx.comm_rep.recv_timeout(RecvSrc::Rank(owner), RecvTag::Tag(resp_tag), deadline)
+            {
+                Some(m) if peek_seq(&m.payload) == Some(seq) => break Some(m),
+                Some(_stale) => continue, // reply to a timed-out attempt
+                None => break None,
+            }
+        };
+        if let Some(m) = reply {
+            return Ok(m);
+        }
+        if tel.on() {
+            tel.rpc_timeouts.inc();
+        }
+        if fi::planted_bug() == Some(fi::PlantedBug::LostAck) && resp_tag != tags::GET_RESP {
+            // Planted bug (chaos `--seed-bug lost-ack`): treat the timeout
+            // as success. The write was never applied; the soak oracle must
+            // flag the acked-write loss.
+            return Ok(Message {
+                src: owner,
+                tag: resp_tag,
+                payload: msg::encode_ack(seq),
+                stamp: ctx.clock().now(),
+            });
+        }
+        if ctx.comm_rep.confirm_rank(owner) == RankStatus::Dead {
+            return Err(Error::RankUnavailable(owner));
+        }
+        if attempt >= RPC_MAX_ATTEMPTS {
+            return Err(Error::Timeout(format!("{what} to rank {owner} after {attempt} attempts")));
+        }
+        if tel.on() {
+            tel.rpc_retries.inc();
+        }
+        let delay = backoff.next_delay();
+        ctx.clock().advance(delay);
+        if tel.on() {
+            tel.backoff_ns.record(delay);
+        }
+        deadline *= 2;
     }
 }
 
@@ -306,6 +451,7 @@ impl Context {
             dbs: Mutex::new(Vec::new()),
             compact_q: BlockingQueue::new(256),
             migrate_q: BlockingQueue::new(256),
+            rpc_seq: AtomicU64::new(0),
             threads: Mutex::new(Vec::new()),
             finalized: AtomicBool::new(false),
         });
@@ -453,8 +599,13 @@ fn compaction_thread(ctx: Arc<CtxInner>) {
                 crate::db::run_flush(&ctx, &db, mt, stamp);
             }
             CompactJob::Checkpoint { db, dest, snapshot, event, stamp } => {
-                let done = crate::ckpt::run_checkpoint_transfer(&ctx, &db, &dest, &snapshot, stamp);
-                event.complete(done);
+                match crate::ckpt::run_checkpoint_transfer(&ctx, &db, &dest, &snapshot, stamp) {
+                    Ok(done) => event.complete(done),
+                    // Typed failure (ENOSPC on the PFS): recoverable — the
+                    // snapshot's SSTables are untouched on NVM, so the
+                    // caller can retry once space is reclaimed.
+                    Err((done, e)) => event.complete_err(done, e),
+                }
             }
             CompactJob::Shutdown => return,
         }
@@ -480,7 +631,7 @@ fn handler_thread(ctx: Arc<CtxInner>) {
         match m.tag {
             tags::SHUTDOWN => return,
             tags::MIGRATE => {
-                if let Err(e) = handle_migrate(&ctx, m.payload, m.stamp) {
+                if let Err(e) = handle_migrate(&ctx, m.src, m.payload, m.stamp) {
                     report_handler_error(&ctx, "migrate", e);
                 }
             }
@@ -514,29 +665,35 @@ fn report_handler_error(ctx: &CtxInner, what: &str, e: Error) {
     eprintln!("papyruskv[rank {}] handler {what} error: {e}", ctx.rank.rank());
 }
 
-fn handle_migrate(ctx: &CtxInner, payload: bytes::Bytes, stamp: SimNs) -> Result<()> {
-    let (db_id, records) = msg::decode_migrate(payload)?;
+fn handle_migrate(ctx: &CtxInner, src: usize, payload: bytes::Bytes, stamp: SimNs) -> Result<()> {
+    let (db_id, seq, records) = msg::decode_migrate(payload)?;
     let db = ctx.db_by_id(db_id)?;
-    crate::db::apply_incoming_records(ctx, &db, &records, stamp);
+    let done = crate::db::apply_incoming_records(ctx, &db, &records, stamp);
+    // Migration is fire-and-forget on the happy path; under the fault plane
+    // the dispatcher awaits this ack so a black-holed batch is detected and
+    // resent (the gate is process-global, so sender and receiver agree).
+    if fi::enabled() {
+        ctx.comm_rep.send_at(src, tags::MIGRATE_ACK, msg::encode_ack(seq), done);
+    }
     Ok(())
 }
 
 fn handle_put_sync(ctx: &CtxInner, src: usize, payload: bytes::Bytes, stamp: SimNs) -> Result<()> {
-    let (db_id, record) = msg::decode_put_sync(payload)?;
+    let (db_id, seq, record) = msg::decode_put_sync(payload)?;
     let db = ctx.db_by_id(db_id)?;
     let done = crate::db::apply_incoming_records(ctx, &db, std::slice::from_ref(&record), stamp);
     // Acknowledge with the service-completion stamp; the caller blocks on it
     // ("the caller MPI rank halts its execution until ... the completion of
     // migration", §3.1).
-    ctx.comm_rep.send_at(src, tags::PUT_ACK, bytes::Bytes::new(), done);
+    ctx.comm_rep.send_at(src, tags::PUT_ACK, msg::encode_ack(seq), done);
     Ok(())
 }
 
 fn handle_get_req(ctx: &CtxInner, src: usize, payload: bytes::Bytes, stamp: SimNs) -> Result<()> {
-    let (db_id, caller_group, key) = msg::decode_get_req(payload)?;
+    let (db_id, caller_group, seq, key) = msg::decode_get_req(payload)?;
     let db = ctx.db_by_id(db_id)?;
     let (resp, done) = crate::db::serve_remote_get(ctx, &db, &key, caller_group, src, stamp);
-    ctx.comm_rep.send_at(src, tags::GET_RESP, msg::encode_get_resp(&resp), done);
+    ctx.comm_rep.send_at(src, tags::GET_RESP, msg::encode_get_resp(seq, &resp), done);
     Ok(())
 }
 

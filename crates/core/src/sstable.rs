@@ -105,6 +105,51 @@ pub fn build_at(
     (reader, done)
 }
 
+/// Fallible [`build_at`]: the three file writes surface injected NVM faults
+/// (`PAPYRUS_FAULTS`) instead of riding them out. On `Err` a partial triple
+/// may remain — it is unreferenced debris (the manifest is only updated
+/// after a successful build) and whole-file rewrites overwrite it cleanly.
+pub fn try_build_at(
+    store: &NvmStore,
+    base: &str,
+    ssid: Ssid,
+    entries: &[(Vec<u8>, Entry)],
+    now: SimNs,
+) -> std::result::Result<(SstReader, SimNs), papyrus_nvm::IoFault> {
+    debug_assert!(
+        entries.windows(2).all(|w| w[0].0 < w[1].0),
+        "SSTable input must be strictly key-sorted"
+    );
+    let (data_path, index_path, bloom_path) = paths(base);
+
+    let mut data = Vec::new();
+    let mut offsets: Vec<u64> = Vec::with_capacity(entries.len());
+    let mut bloom = Bloom::with_capacity(entries.len(), 10);
+    for (key, e) in entries {
+        offsets.push(data.len() as u64);
+        bloom.insert(key);
+        data.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        data.extend_from_slice(&(e.value.len() as u32).to_le_bytes());
+        data.push(u8::from(e.tombstone));
+        data.extend_from_slice(key);
+        data.extend_from_slice(&e.value);
+    }
+    let mut index = Vec::with_capacity(8 + offsets.len() * 8);
+    index.extend_from_slice(&(offsets.len() as u64).to_le_bytes());
+    for off in &offsets {
+        index.extend_from_slice(&off.to_le_bytes());
+    }
+
+    let data_len = data.len() as u64;
+    let t1 = store.try_put_at(&data_path, Bytes::from(data), now)?;
+    let t2 = store.try_put_at(&index_path, Bytes::from(index), t1)?;
+    let done = store.try_put_at(&bloom_path, Bytes::from(bloom.to_bytes()), t2)?;
+
+    let reader =
+        SstReader { store: store.clone(), base: base.to_string(), ssid, offsets, bloom, data_len };
+    Ok((reader, done))
+}
+
 /// An open SSTable: bloom filter and SSIndex held in memory ("PapyrusKV
 /// loads the SSIndex in memory and searches SSData", §2.6); SSData probed
 /// through the cost-accounted store.
@@ -363,6 +408,45 @@ pub fn merge_at(
     let sorted: Vec<(Vec<u8>, Entry)> = merged.into_iter().collect();
     let (reader, done) = build_at(store, new_base, new_ssid, &sorted, t);
     Ok((reader, done))
+}
+
+/// Fault-aware [`merge_at`] (fault plane on): the merged table is built
+/// through [`try_build_at`]. `ENOSPC` aborts with [`Error::StorageFull`]
+/// (the caller keeps the inputs live, so nothing is lost); transient EIO is
+/// ridden out by falling back to the infallible build, which escapes the
+/// fault window deterministically.
+pub fn try_merge_at(
+    store: &NvmStore,
+    tables: &[SstReader],
+    new_base: &str,
+    new_ssid: Ssid,
+    drop_tombstones: bool,
+    now: SimNs,
+) -> Result<(SstReader, SimNs)> {
+    let mut t = now;
+    let mut by_ssid: Vec<&SstReader> = tables.iter().collect();
+    by_ssid.sort_by_key(|r| std::cmp::Reverse(r.ssid()));
+    let mut merged: BTreeMap<Vec<u8>, Entry> = BTreeMap::new();
+    for reader in by_ssid {
+        let (entries, done) = reader.scan_all_at(t)?;
+        t = done;
+        for (k, e) in entries {
+            merged.entry(k).or_insert(e);
+        }
+    }
+    if drop_tombstones {
+        merged.retain(|_, e| !e.tombstone);
+    }
+    let sorted: Vec<(Vec<u8>, Entry)> = merged.into_iter().collect();
+    match try_build_at(store, new_base, new_ssid, &sorted, t) {
+        Ok(built) => Ok(built),
+        Err(papyrus_nvm::IoFault::NoSpace) => {
+            Err(Error::StorageFull(format!("compaction into {new_base}")))
+        }
+        Err(papyrus_nvm::IoFault::TransientEio) => {
+            Ok(build_at(store, new_base, new_ssid, &sorted, t))
+        }
+    }
 }
 
 #[cfg(test)]

@@ -37,6 +37,10 @@ pub(crate) struct CoreTel {
     pub bloom_neg: Counter,
     /// SSTable probes that passed the bloom filter (maybe-present).
     pub bloom_pass: Counter,
+    /// Remote RPC attempts re-sent after a timeout (fault plane on).
+    pub rpc_retries: Counter,
+    /// Remote RPC receive deadlines that expired (fault plane on).
+    pub rpc_timeouts: Counter,
     pub put_ns: Histogram,
     pub get_local_ns: Histogram,
     pub get_remote_ns: Histogram,
@@ -45,6 +49,8 @@ pub(crate) struct CoreTel {
     pub migrate_ns: Histogram,
     pub fence_wait_ns: Histogram,
     pub barrier_wait_ns: Histogram,
+    /// Virtual backoff delay charged before each RPC retry.
+    pub backoff_ns: Histogram,
     pub rec: SpanRecorder,
 }
 
@@ -68,6 +74,8 @@ impl CoreTel {
             serve_gets: reg.counter(pid, "kv.serve_get.count"),
             bloom_neg: reg.counter(pid, "kv.bloom.neg"),
             bloom_pass: reg.counter(pid, "kv.bloom.pass"),
+            rpc_retries: reg.counter(pid, "rpc_retries"),
+            rpc_timeouts: reg.counter(pid, "rpc_timeouts"),
             put_ns: reg.histogram(pid, "kv.put.ns"),
             get_local_ns: reg.histogram(pid, "kv.get.local.ns"),
             get_remote_ns: reg.histogram(pid, "kv.get.remote.ns"),
@@ -76,6 +84,7 @@ impl CoreTel {
             migrate_ns: reg.histogram(pid, "kv.migrate.ns"),
             fence_wait_ns: reg.histogram(pid, "kv.fence.wait.ns"),
             barrier_wait_ns: reg.histogram(pid, "kv.barrier.wait.ns"),
+            backoff_ns: reg.histogram(pid, "rpc.backoff.ns"),
             rec: reg.recorder_for_rank(rank),
         }
     }

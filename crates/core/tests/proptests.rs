@@ -164,8 +164,8 @@ proptest! {
                 tombstone: *t,
             })
             .collect();
-        let (db, got) = msg::decode_migrate(msg::encode_migrate(9, &kv)).unwrap();
-        prop_assert_eq!(db, 9);
+        let (db, seq, got) = msg::decode_migrate(msg::encode_migrate(9, 41, &kv)).unwrap();
+        prop_assert_eq!((db, seq), (9, 41));
         prop_assert_eq!(got, kv);
         // Fuzz all decoders with junk: must not panic.
         let b = Bytes::from(junk);

@@ -114,6 +114,9 @@ impl Communicator {
         let clock = self.fabric.clock(self.me_world);
         // Sender-side software overhead (an MPI_Send on the happy path).
         let now = clock.advance(self.fabric.net().msg_latency / 4);
+        if self.fabric.fault_drop(self.me_world, dst_world, tag, now) {
+            return; // black-holed by the fault plane
+        }
         let stamp = self.fabric.wire_stamp(self.me_world, dst_world, payload.len() as u64, now);
         self.fabric.tel(self.me_world).on_send(payload.len() as u64, now, stamp);
         let sanity = self.fabric.monitor().on_send(self.id, self.me_world, dst_world, tag);
@@ -130,6 +133,9 @@ impl Communicator {
     pub fn send_at(&self, dst: Rank, tag: Tag, payload: impl Into<Bytes>, now: SimNs) -> SimNs {
         let payload = payload.into();
         let dst_world = self.record.members[dst];
+        if self.fabric.fault_drop(self.me_world, dst_world, tag, now) {
+            return now; // black-holed by the fault plane
+        }
         let stamp = self.fabric.wire_stamp(self.me_world, dst_world, payload.len() as u64, now);
         self.fabric.tel(self.me_world).on_send(payload.len() as u64, now, stamp);
         let sanity = self.fabric.monitor().on_send(self.id, self.me_world, dst_world, tag);
@@ -146,6 +152,45 @@ impl Communicator {
         let env = self.fabric.recv(self.me_world, self.id, src.into_option(), tag.into_option());
         self.stamp_in(&env);
         Message { src: env.src, tag: env.tag, payload: env.payload, stamp: env.stamp }
+    }
+
+    /// Blocking receive with a real-time deadline; `None` on timeout. The
+    /// deadline is wall-clock (it bounds how long the thread parks before
+    /// checking on the peer) — protocol time stays virtual. On success the
+    /// arrival stamp is merged into this rank's clock as with `recv`.
+    pub fn recv_timeout(
+        &self,
+        src: RecvSrc,
+        tag: RecvTag,
+        timeout: std::time::Duration,
+    ) -> Option<Message> {
+        let env = self.fabric.recv_deadline(
+            self.me_world,
+            self.id,
+            src.into_option(),
+            tag.into_option(),
+            timeout,
+        )?;
+        self.stamp_in(&env);
+        Some(Message { src: env.src, tag: env.tag, payload: env.payload, stamp: env.stamp })
+    }
+
+    /// Deadline receive that does NOT merge the arrival stamp (for
+    /// background threads); `None` on timeout.
+    pub fn recv_timeout_unstamped(
+        &self,
+        src: RecvSrc,
+        tag: RecvTag,
+        timeout: std::time::Duration,
+    ) -> Option<Message> {
+        let env = self.fabric.recv_deadline(
+            self.me_world,
+            self.id,
+            src.into_option(),
+            tag.into_option(),
+            timeout,
+        )?;
+        Some(Message { src: env.src, tag: env.tag, payload: env.payload, stamp: env.stamp })
     }
 
     /// Non-blocking receive; `None` if no matching message is queued.
@@ -197,6 +242,86 @@ impl Communicator {
         clock.merge(stamp);
         self.fabric.monitor().on_collective(self.me_world, &self.record.members);
         bufs
+    }
+
+    /// Failure-detector confirmation round against comm rank `dst` at this
+    /// rank's current virtual time. Dead verdicts are sticky on the fabric.
+    /// The round's virtual cost is merged into this rank's clock.
+    pub fn confirm_rank(&self, dst: Rank) -> crate::fabric::RankStatus {
+        let clock = self.fabric.clock(self.me_world);
+        let (status, cost) =
+            self.fabric.confirm_rank(self.me_world, self.record.members[dst], clock.now());
+        if cost > 0 {
+            clock.advance(cost);
+        }
+        status
+    }
+
+    /// First member of this communicator confirmed dead (probing each in
+    /// comm-rank order), as `(comm_rank, world_rank)`; `None` if all alive.
+    /// Free when the fault plane is off.
+    ///
+    /// Self counts: a rank whose own kill time has passed reports *itself*,
+    /// so a victim stuck in a collective withdraws instead of waiting on
+    /// peers whose messages black-hole (the join of its world thread would
+    /// otherwise deadlock the whole job).
+    pub fn any_dead_member(&self) -> Option<(Rank, Rank)> {
+        if !papyrus_faultinject::enabled() {
+            return None;
+        }
+        let clock = self.fabric.clock(self.me_world);
+        if papyrus_faultinject::plan().is_some_and(|p| p.rank_dead(self.me_world, clock.now())) {
+            return Some((self.me, self.me_world));
+        }
+        for (cr, &wr) in self.record.members.iter().enumerate() {
+            if wr == self.me_world {
+                continue;
+            }
+            let (status, cost) = self.fabric.confirm_rank(self.me_world, wr, clock.now());
+            if cost > 0 {
+                clock.advance(cost);
+            }
+            if status == crate::fabric::RankStatus::Dead {
+                return Some((cr, wr));
+            }
+        }
+        None
+    }
+
+    /// Failure-aware barrier: returns `Err(dead_world_rank)` instead of
+    /// hanging when a member dies before arriving. All members must use the
+    /// failure-aware path for the same logical barrier (the `PAPYRUS_FAULTS`
+    /// gate is process-global, so they do).
+    pub fn try_barrier(&self) -> Result<(), Rank> {
+        let n = self.size();
+        let clock = self.fabric.clock(self.me_world);
+        let cost = self.fabric.collective_cost(n);
+        let res = self.record.collective.allgather_abortable(
+            n,
+            self.me,
+            Vec::new(),
+            clock.now(),
+            cost,
+            || {
+                // Each timed-out wait slice consumes virtual time too;
+                // advancing here lets a rank whose clock lags the plan's
+                // kill times cross them instead of probing forever. Only
+                // with the plane armed: an unconditional advance would
+                // bill fault-free runs for wall-clock scheduling noise.
+                if papyrus_faultinject::enabled() {
+                    clock.advance(papyrus_faultinject::PROBE_DEADLINE_CAP_NS);
+                }
+                self.any_dead_member().map(|(_, wr)| wr)
+            },
+        );
+        match res {
+            Ok((_, stamp)) => {
+                clock.merge(stamp);
+                self.fabric.monitor().on_collective(self.me_world, &self.record.members);
+                Ok(())
+            }
+            Err(dead) => Err(dead),
+        }
     }
 
     /// Collective all-reduce of a `u64` with a commutative-associative `op`.

@@ -5,6 +5,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use bytes::Bytes;
+use papyrus_faultinject::{PROBE_DEADLINE_CAP_NS, PROBE_DEADLINE_INIT_NS, PROBE_MISS_THRESHOLD};
 use papyrus_simtime::{transfer_ns, Clock, NetModel, Resource, SimNs};
 use papyrus_telemetry::{Counter, Gauge, Histogram, SpanRecorder, TID_APP};
 use parking_lot::{Condvar, Mutex};
@@ -21,6 +22,8 @@ pub(crate) struct RankNetTel {
     recv_count: Counter,
     recv_bytes: Counter,
     queue_depth: Gauge,
+    /// Transitions of a peer rank to confirmed-dead observed by this rank.
+    failover: Counter,
     msg_ns: Histogram,
     rec: SpanRecorder,
 }
@@ -35,6 +38,7 @@ impl RankNetTel {
             recv_count: reg.counter(pid, "net.recv.count"),
             recv_bytes: reg.counter(pid, "net.recv.bytes"),
             queue_depth: reg.gauge(pid, "net.mailbox.depth"),
+            failover: reg.counter(pid, "rank_failovers"),
             msg_ns: reg.histogram(pid, "net.msg.ns"),
             rec: reg.recorder_for_rank(rank),
         }
@@ -70,6 +74,10 @@ impl RankNetTel {
 
 /// Internal communicator identifier (unique within a [`Fabric`]).
 pub(crate) type CommId = u64;
+
+/// A completed all-gather round: every member's contribution in rank
+/// order, plus the merged completion stamp.
+type GatherRound = (Arc<Vec<Vec<u8>>>, SimNs);
 
 /// A delivered message envelope as stored in a rank's mailbox.
 #[derive(Debug, Clone)]
@@ -172,6 +180,67 @@ impl CollectiveState {
         }
         out
     }
+
+    /// Failure-aware all-gather: identical to [`CollectiveState::allgather`]
+    /// except that while waiting it periodically calls `check`; if `check`
+    /// names a dead member the caller *withdraws* its contribution and
+    /// returns `Err(dead_world_rank)`, leaving the round clean for the
+    /// surviving members (who will each detect the same death and withdraw
+    /// too, instead of hanging forever on a member that will never arrive).
+    pub(crate) fn allgather_abortable<F>(
+        &self,
+        n: usize,
+        me: Rank,
+        contribution: Vec<u8>,
+        stamp: SimNs,
+        cost: SimNs,
+        mut check: F,
+    ) -> Result<GatherRound, Rank>
+    where
+        F: FnMut() -> Option<Rank>,
+    {
+        let slice = std::time::Duration::from_millis(10);
+        let mut g = self.inner.lock();
+        while g.released.is_some() {
+            if self.cv.wait_for(&mut g, slice).timed_out() {
+                if let Some(dead) = check() {
+                    return Err(dead);
+                }
+            }
+        }
+        g.bufs[me] = Some(contribution);
+        g.max_stamp = g.max_stamp.max(stamp);
+        g.arrived += 1;
+        if g.arrived == n {
+            let bufs: Vec<Vec<u8>> = g.bufs.iter_mut().filter_map(|b| b.take()).collect();
+            let release_stamp = g.max_stamp + cost;
+            g.released = Some((Arc::new(bufs), release_stamp));
+            g.consumed = 0;
+            self.cv.notify_all();
+        }
+        let out = loop {
+            if let Some(out) = g.released.clone() {
+                break out;
+            }
+            if self.cv.wait_for(&mut g, slice).timed_out() && g.released.is_none() {
+                if let Some(dead) = check() {
+                    if g.bufs[me].take().is_some() {
+                        g.arrived -= 1;
+                    }
+                    self.cv.notify_all();
+                    return Err(dead);
+                }
+            }
+        };
+        g.consumed += 1;
+        if g.consumed == n {
+            g.released = None;
+            g.arrived = 0;
+            g.max_stamp = 0;
+            self.cv.notify_all();
+        }
+        Ok(out)
+    }
 }
 
 /// Record of a communicator known to the fabric.
@@ -218,6 +287,17 @@ pub struct Fabric {
     /// children of a `split` at the same sequence number.
     children: Mutex<ChildComms>,
     next_comm_id: Mutex<CommId>,
+    /// Failure-detector verdicts: `dead[r]` once the heartbeat protocol has
+    /// confirmed world rank `r` unresponsive. Only ever set while the
+    /// `PAPYRUS_FAULTS` plane is on; sticky for the life of the world.
+    dead: Mutex<Vec<bool>>,
+}
+
+/// Verdict of a failure-detector confirmation round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankStatus {
+    Alive,
+    Dead,
 }
 
 impl Fabric {
@@ -251,6 +331,7 @@ impl Fabric {
             comms: Mutex::new(comms),
             children: Mutex::new(HashMap::new()),
             next_comm_id: Mutex::new(1),
+            dead: Mutex::new(vec![false; n]),
         })
     }
 
@@ -309,9 +390,16 @@ impl Fabric {
     /// the sender's clock at `now`: egress NIC queueing, wire latency, then
     /// ingress NIC queueing. Returns the virtual arrival stamp.
     pub(crate) fn wire_stamp(&self, src: Rank, dst: Rank, bytes: u64, now: SimNs) -> SimNs {
+        // Injected delay spike (PAPYRUS_FAULTS): purely virtual — the
+        // message is still delivered immediately, it just *arrives* later.
+        let extra = if papyrus_faultinject::enabled() {
+            papyrus_faultinject::plan().map_or(0, |p| p.net_extra_ns(now))
+        } else {
+            0
+        };
         if src == dst {
             // Intra-rank delivery: loopback, just the software latency.
-            return now + self.net.msg_latency / 4;
+            return now + self.net.msg_latency / 4 + extra;
         }
         let t = transfer_ns(bytes, self.net.bandwidth);
         let tx_done = self.nic_tx[src].submit(now, t);
@@ -321,7 +409,87 @@ impl Fabric {
         let bb_done = self.backbone.submit_shared(tx_start, t, self.backbone_links);
         // ...and occupies the receiver NIC for its transfer time starting
         // one wire-latency after it cleared the backbone.
-        self.nic_rx[dst].submit(bb_done - t + self.net.msg_latency, t)
+        self.nic_rx[dst].submit(bb_done - t + self.net.msg_latency, t) + extra
+    }
+
+    /// Should a message from `src_world` to `dst_world` vanish? True when
+    /// either endpoint is dead per the active fault plan (black-hole) or a
+    /// drop event matches. One relaxed load when the plane is off.
+    pub(crate) fn fault_drop(
+        &self,
+        src_world: Rank,
+        dst_world: Rank,
+        tag: Tag,
+        now: SimNs,
+    ) -> bool {
+        if !papyrus_faultinject::enabled() {
+            return false;
+        }
+        let Some(p) = papyrus_faultinject::plan() else {
+            return false;
+        };
+        p.rank_dead(src_world, now)
+            || p.rank_dead(dst_world, now)
+            || p.should_drop(dst_world, tag, now)
+    }
+
+    /// Has the failure detector already confirmed this world rank dead?
+    pub fn rank_known_dead(&self, world_rank: Rank) -> bool {
+        self.dead.lock()[world_rank]
+    }
+
+    /// World ranks confirmed dead so far.
+    pub fn dead_ranks(&self) -> Vec<Rank> {
+        self.dead.lock().iter().enumerate().filter(|(_, d)| **d).map(|(r, _)| r).collect()
+    }
+
+    /// Run one heartbeat confirmation round against `target`, modelled
+    /// entirely in virtual time: probes with exponentially growing virtual
+    /// deadlines, a miss per unanswered-or-late ack, dead after
+    /// [`PROBE_MISS_THRESHOLD`] consecutive misses. A delay spike makes the
+    /// first probes miss, but the growing deadline eventually admits the
+    /// late ack — false-positive resistance; a killed rank never acks.
+    ///
+    /// Returns the verdict and the virtual time the round consumed (the
+    /// caller merges it into its clock if it has one). With the fault plane
+    /// off this is free and always `Alive`.
+    pub fn confirm_rank(&self, me: Rank, target: Rank, now: SimNs) -> (RankStatus, SimNs) {
+        if me == target || !papyrus_faultinject::enabled() {
+            return (RankStatus::Alive, 0);
+        }
+        if self.dead.lock()[target] {
+            return (RankStatus::Dead, 0);
+        }
+        let Some(plan) = papyrus_faultinject::plan() else {
+            return (RankStatus::Alive, 0);
+        };
+        let lat = self.net.msg_latency.max(1);
+        let mut t = now;
+        let mut deadline = PROBE_DEADLINE_INIT_NS.max(4 * lat);
+        let mut misses = 0u32;
+        loop {
+            let req_arrive = t + lat + plan.net_extra_ns(t);
+            let acked = !plan.rank_dead(target, req_arrive);
+            let ack_at = req_arrive + lat + plan.net_extra_ns(req_arrive);
+            if acked && ack_at <= t + deadline {
+                return (RankStatus::Alive, ack_at.saturating_sub(now));
+            }
+            misses += 1;
+            t += deadline;
+            deadline = (deadline * 2).min(PROBE_DEADLINE_CAP_NS);
+            if misses >= PROBE_MISS_THRESHOLD {
+                let first = {
+                    let mut dead = self.dead.lock();
+                    let first = !dead[target];
+                    dead[target] = true;
+                    first
+                };
+                if first && papyrus_telemetry::is_enabled() {
+                    self.tel[me].failover.inc();
+                }
+                return (RankStatus::Dead, t.saturating_sub(now));
+            }
+        }
     }
 
     /// Per-rank channel telemetry handles.
@@ -398,6 +566,47 @@ impl Fabric {
         }
         self.tel[me_world].on_recv(env.payload.len() as u64, depth);
         env
+    }
+
+    /// Receive with a real-time deadline: like [`Fabric::recv`] but gives up
+    /// and returns `None` once `timeout` elapses with no matching envelope.
+    /// Used by the failure-aware RPC paths — the real deadline only decides
+    /// *when to check on the peer*; protocol time stays virtual.
+    pub(crate) fn recv_deadline(
+        &self,
+        me_world: Rank,
+        comm: CommId,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+        timeout: std::time::Duration,
+    ) -> Option<Envelope> {
+        let mb = &self.mailboxes[me_world];
+        let slice = std::time::Duration::from_millis(5);
+        let mut remaining = timeout;
+        let mut q = mb.queue.lock();
+        let (env, depth) = loop {
+            let pos = q.iter().position(|e| {
+                e.comm == comm && src.is_none_or(|s| e.src == s) && tag.is_none_or(|t| e.tag == t)
+            });
+            if let Some(env) = pos.and_then(|p| q.remove(p)) {
+                break (env, q.len());
+            }
+            if remaining.is_zero() {
+                return None;
+            }
+            let step = slice.min(remaining);
+            if mb.cv.wait_for(&mut q, step).timed_out() {
+                remaining -= step;
+            }
+        };
+        drop(q);
+        if papyrus_sanity::enabled() {
+            if let Some(stamp) = &env.sanity {
+                self.sanity.on_recv(me_world, comm, env.tag, stamp);
+            }
+        }
+        self.tel[me_world].on_recv(env.payload.len() as u64, depth);
+        Some(env)
     }
 
     /// Non-blocking receive; `None` if nothing matches right now.

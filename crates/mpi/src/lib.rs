@@ -29,7 +29,7 @@ mod sanity;
 mod world;
 
 pub use comm::{Communicator, Message, RecvSrc, RecvTag};
-pub use fabric::Fabric;
+pub use fabric::{Fabric, RankStatus};
 pub use world::{RankCtx, World, WorldConfig};
 
 /// A rank index within a communicator.

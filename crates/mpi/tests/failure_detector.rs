@@ -1,0 +1,62 @@
+//! Failure-detector semantics under the PAPYRUS_FAULTS plane.
+//!
+//! One test function: the fault gate and plan registry are process-global,
+//! so the scenarios run sequentially in a dedicated test binary.
+
+use std::sync::Arc;
+
+use papyrus_faultinject::{self as fi, FaultEvent, FaultPlan};
+use papyrus_mpi::{Fabric, RankStatus, World, WorldConfig};
+use papyrus_simtime::NetModel;
+
+#[test]
+fn failure_detector_semantics() {
+    fi::force_enable();
+
+    // 1. Delay spikes delay acks but must NOT look like death: the growing
+    //    probe deadline eventually admits the late ack (false-positive
+    //    resistance). 750 µs is the generator's worst-case spike.
+    let f = Fabric::new(4, NetModel::infiniband_edr());
+    fi::install_plan(Arc::new(FaultPlan::with_events(
+        1,
+        vec![FaultEvent::NetDelaySpike { start: 0, end: 1_000_000_000, extra_ns: 750_000 }],
+    )));
+    let (status, cost) = f.confirm_rank(0, 1, 10_000);
+    assert_eq!(status, RankStatus::Alive, "a slow rank is not a dead rank");
+    assert!(cost > 0, "riding out a spike must consume virtual time");
+    assert!(!f.rank_known_dead(1));
+
+    // 2. A killed rank never acks: confirmed dead after the miss budget,
+    //    and the verdict is sticky even after the plan is gone.
+    fi::install_plan(Arc::new(FaultPlan::with_events(
+        2,
+        vec![FaultEvent::RankKill { rank: 2, at: 0 }],
+    )));
+    let (status, cost) = f.confirm_rank(0, 2, 5_000);
+    assert_eq!(status, RankStatus::Dead);
+    assert!(cost > 0);
+    assert!(f.rank_known_dead(2));
+    assert_eq!(f.dead_ranks(), vec![2]);
+    fi::clear_plan();
+    assert_eq!(f.confirm_rank(0, 2, 99_000).0, RankStatus::Dead, "death verdicts are sticky");
+
+    // 3. Probing yourself or probing with no plan installed is free.
+    assert_eq!(f.confirm_rank(1, 1, 0), (RankStatus::Alive, 0));
+    assert_eq!(f.confirm_rank(0, 3, 0), (RankStatus::Alive, 0));
+
+    // 4. End-to-end: a barrier over a world with a dead member reports the
+    //    dead rank by number instead of hanging.
+    fi::install_plan(Arc::new(FaultPlan::with_events(
+        3,
+        vec![FaultEvent::RankKill { rank: 1, at: 0 }],
+    )));
+    World::run(WorldConfig::new(2, NetModel::infiniband_edr()), |ctx| {
+        if ctx.rank() == 1 {
+            return; // the victim does not participate
+        }
+        let err = ctx.world().try_barrier().expect_err("barrier must not hang on a dead member");
+        assert_eq!(err, 1, "the dead rank is reported by number");
+    });
+    fi::clear_plan();
+    fi::force_disable();
+}

@@ -3,10 +3,16 @@
 use std::sync::Arc;
 
 use bytes::Bytes;
+use papyrus_faultinject::{Backoff, IoFault};
 use papyrus_simtime::{AccessPattern, Clock, DeviceModel, Resource, SimNs};
 use papyrus_telemetry::{Counter, Histogram, SpanRecorder};
 
 use crate::backend::{Backend, MemBackend};
+
+/// Base/cap for the virtual backoff used when an infallible store wrapper
+/// rides out an injected transient fault.
+const IO_BACKOFF_BASE_NS: SimNs = 50_000; // 50 µs
+const IO_BACKOFF_CAP_NS: SimNs = 20_000_000; // 20 ms
 
 /// Telemetry handles for one store, shared by all clones. Each store owns
 /// its own trace timeline (pid ≥ [`papyrus_telemetry::NVM_PID_BASE`]) so
@@ -17,6 +23,7 @@ struct StoreTel {
     write_ops: Counter,
     write_bytes: Counter,
     meta_ops: Counter,
+    io_retries: Counter,
     queue_wait: Histogram,
     service: Histogram,
     rec: SpanRecorder,
@@ -32,6 +39,7 @@ impl StoreTel {
             write_ops: reg.counter(pid, "io.write.ops"),
             write_bytes: reg.counter(pid, "io.write.bytes"),
             meta_ops: reg.counter(pid, "io.meta.ops"),
+            io_retries: reg.counter(pid, "io_retries"),
             queue_wait: reg.histogram(pid, "io.queue_wait.ns"),
             service: reg.histogram(pid, "io.service.ns"),
             rec: reg.recorder(pid),
@@ -146,6 +154,53 @@ impl NvmStore {
         &self.queue
     }
 
+    // ----- fault injection (PAPYRUS_FAULTS plane) -----
+
+    /// Consult the active [`papyrus_faultinject::FaultPlan`] for an op
+    /// issued at `now`. One relaxed load when the gate is off.
+    /// `Ok(extra_ns)` is an added slow-device stall.
+    #[inline]
+    fn inject(&self, write: bool, now: SimNs) -> Result<SimNs, IoFault> {
+        if !papyrus_faultinject::enabled() {
+            return Ok(0);
+        }
+        match papyrus_faultinject::plan() {
+            Some(p) => p.io_fault(write, now),
+            None => Ok(0),
+        }
+    }
+
+    /// Ride out injected faults for an infallible wrapper: retry with
+    /// deterministic virtual backoff until the issue stamp escapes every
+    /// fault window. Plans have finite horizons, so this terminates; the
+    /// horizon jump after many attempts is a safety valve for hand-built
+    /// plans with overlong windows.
+    fn ride_out<T>(
+        &self,
+        now: SimNs,
+        seed: u64,
+        mut op: impl FnMut(SimNs) -> Result<T, IoFault>,
+    ) -> T {
+        let mut t = now;
+        let mut bo = Backoff::new(seed, IO_BACKOFF_BASE_NS, IO_BACKOFF_CAP_NS);
+        loop {
+            match op(t) {
+                Ok(v) => return v,
+                Err(_) => {
+                    if papyrus_telemetry::is_enabled() {
+                        self.tel.io_retries.inc();
+                    }
+                    t = t.saturating_add(bo.next_delay());
+                    if bo.attempts() > 64 {
+                        if let Some(p) = papyrus_faultinject::plan() {
+                            t = t.max(p.horizon().saturating_add(1));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     // ----- primitives (explicit timestamps) -----
 
     /// Open/metadata operation at `now`; returns completion stamp.
@@ -155,23 +210,75 @@ impl NvmStore {
         done
     }
 
-    /// Write (create/truncate) a whole object at `now`.
-    pub fn put_at(&self, path: &str, data: Bytes, now: SimNs) -> SimNs {
+    /// Fallible whole-object write: surfaces injected transient `EIO` /
+    /// `ENOSPC` as typed errors instead of retrying internally. The backend
+    /// is untouched when the op faults.
+    pub fn try_put_at(&self, path: &str, data: Bytes, now: SimNs) -> Result<SimNs, IoFault> {
+        let stall = self.inject(true, now)?;
         let bytes = data.len() as u64;
-        let cost = self.device.write_ns(bytes, AccessPattern::Sequential);
+        let cost = self.device.write_ns(bytes, AccessPattern::Sequential) + stall;
         self.backend.put(path, data);
         let done = self.queue.submit_shared(now, cost, self.device.parallelism);
         self.tel.io("write", true, bytes, now, cost, done);
-        done
+        Ok(done)
+    }
+
+    /// Write (create/truncate) a whole object at `now`. Injected transient
+    /// faults are retried internally with virtual backoff (counted in the
+    /// `io_retries` telemetry counter); hardened callers that want typed
+    /// errors use [`NvmStore::try_put_at`].
+    pub fn put_at(&self, path: &str, data: Bytes, now: SimNs) -> SimNs {
+        if !papyrus_faultinject::enabled() {
+            let bytes = data.len() as u64;
+            let cost = self.device.write_ns(bytes, AccessPattern::Sequential);
+            self.backend.put(path, data);
+            let done = self.queue.submit_shared(now, cost, self.device.parallelism);
+            self.tel.io("write", true, bytes, now, cost, done);
+            return done;
+        }
+        self.ride_out(now, path_seed(path), |t| self.try_put_at(path, data.clone(), t))
+    }
+
+    /// Fallible append (see [`NvmStore::try_put_at`]).
+    pub fn try_append_at(&self, path: &str, data: &[u8], now: SimNs) -> Result<SimNs, IoFault> {
+        let stall = self.inject(true, now)?;
+        let cost = self.device.write_ns(data.len() as u64, AccessPattern::Sequential) + stall;
+        self.backend.append(path, data);
+        let done = self.queue.submit_shared(now, cost, self.device.parallelism);
+        self.tel.io("append", true, data.len() as u64, now, cost, done);
+        Ok(done)
     }
 
     /// Append to an object at `now` (sequential write).
     pub fn append_at(&self, path: &str, data: &[u8], now: SimNs) -> SimNs {
-        let cost = self.device.write_ns(data.len() as u64, AccessPattern::Sequential);
-        self.backend.append(path, data);
+        if !papyrus_faultinject::enabled() {
+            let cost = self.device.write_ns(data.len() as u64, AccessPattern::Sequential);
+            self.backend.append(path, data);
+            let done = self.queue.submit_shared(now, cost, self.device.parallelism);
+            self.tel.io("append", true, data.len() as u64, now, cost, done);
+            return done;
+        }
+        self.ride_out(now, path_seed(path), |t| self.try_append_at(path, data, t))
+    }
+
+    /// Fallible ranged read: `Ok(None)` = object missing (free), `Err` =
+    /// injected read fault.
+    pub fn try_read_at(
+        &self,
+        path: &str,
+        offset: u64,
+        len: u64,
+        pattern: AccessPattern,
+        now: SimNs,
+    ) -> Result<Option<(Bytes, SimNs)>, IoFault> {
+        let Some(data) = self.backend.get(path, offset, len) else {
+            return Ok(None);
+        };
+        let stall = self.inject(false, now)?;
+        let cost = self.device.read_ns(data.len() as u64, pattern) + stall;
         let done = self.queue.submit_shared(now, cost, self.device.parallelism);
-        self.tel.io("append", true, data.len() as u64, now, cost, done);
-        done
+        self.tel.io("read", false, data.len() as u64, now, cost, done);
+        Ok(Some((data, done)))
     }
 
     /// Ranged read at `now` with the given access pattern.
@@ -183,20 +290,42 @@ impl NvmStore {
         pattern: AccessPattern,
         now: SimNs,
     ) -> Option<(Bytes, SimNs)> {
-        let data = self.backend.get(path, offset, len)?;
-        let cost = self.device.read_ns(data.len() as u64, pattern);
+        if !papyrus_faultinject::enabled() {
+            let data = self.backend.get(path, offset, len)?;
+            let cost = self.device.read_ns(data.len() as u64, pattern);
+            let done = self.queue.submit_shared(now, cost, self.device.parallelism);
+            self.tel.io("read", false, data.len() as u64, now, cost, done);
+            return Some((data, done));
+        }
+        self.ride_out(now, path_seed(path), |t| self.try_read_at(path, offset, len, pattern, t))
+    }
+
+    /// Fallible whole-object read (see [`NvmStore::try_read_at`]).
+    pub fn try_read_all_at(
+        &self,
+        path: &str,
+        now: SimNs,
+    ) -> Result<Option<(Bytes, SimNs)>, IoFault> {
+        let Some(data) = self.backend.get_all(path) else {
+            return Ok(None);
+        };
+        let stall = self.inject(false, now)?;
+        let cost = self.device.read_ns(data.len() as u64, AccessPattern::Sequential) + stall;
         let done = self.queue.submit_shared(now, cost, self.device.parallelism);
-        self.tel.io("read", false, data.len() as u64, now, cost, done);
-        Some((data, done))
+        self.tel.io("read_all", false, data.len() as u64, now, cost, done);
+        Ok(Some((data, done)))
     }
 
     /// Whole-object read at `now` (sequential scan).
     pub fn read_all_at(&self, path: &str, now: SimNs) -> Option<(Bytes, SimNs)> {
-        let data = self.backend.get_all(path)?;
-        let cost = self.device.read_ns(data.len() as u64, AccessPattern::Sequential);
-        let done = self.queue.submit_shared(now, cost, self.device.parallelism);
-        self.tel.io("read_all", false, data.len() as u64, now, cost, done);
-        Some((data, done))
+        if !papyrus_faultinject::enabled() {
+            let data = self.backend.get_all(path)?;
+            let cost = self.device.read_ns(data.len() as u64, AccessPattern::Sequential);
+            let done = self.queue.submit_shared(now, cost, self.device.parallelism);
+            self.tel.io("read_all", false, data.len() as u64, now, cost, done);
+            return Some((data, done));
+        }
+        self.ride_out(now, path_seed(path), |t| self.try_read_all_at(path, t))
     }
 
     /// Delete at `now` (metadata-cost operation).
@@ -310,6 +439,17 @@ impl NvmStore {
     }
 }
 
+/// Stable per-path seed so an object's injected-fault backoff jitter is
+/// reproducible across runs (FNV-1a).
+fn path_seed(path: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in path.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
 /// Buffered writer returned by [`NvmStore::writer`].
 pub struct ObjectWriter {
     store: NvmStore,
@@ -342,6 +482,12 @@ impl ObjectWriter {
     /// returns the completion stamp.
     pub fn finish_at(self, now: SimNs) -> SimNs {
         self.store.put_at(&self.path, Bytes::from(self.buf), now)
+    }
+
+    /// Fallible [`ObjectWriter::finish_at`]: surfaces injected write faults
+    /// as typed errors. The buffer is consumed either way.
+    pub fn try_finish_at(self, now: SimNs) -> Result<SimNs, IoFault> {
+        self.store.try_put_at(&self.path, Bytes::from(self.buf), now)
     }
 
     /// Persist synchronously against `clock`.
@@ -497,6 +643,48 @@ mod tests {
             .iter()
             .skip(before)
             .any(|op| matches!(op, JournalOp::Put { path, .. } if path == "uncaptured")));
+    }
+
+    #[test]
+    fn injected_faults_surface_typed_and_ride_out() {
+        use papyrus_faultinject as fi;
+        // Windows far beyond any stamp other parallel tests use, so turning
+        // the global gate on cannot perturb them.
+        const BASE: SimNs = 900_000_000_000_000_000;
+        let plan = fi::FaultPlan::with_events(
+            1,
+            vec![
+                fi::FaultEvent::NvmEnospc { start: BASE, end: BASE + 1_000_000 },
+                fi::FaultEvent::NvmTransientEio {
+                    start: BASE,
+                    end: BASE + 1_000_000,
+                    reads: true,
+                    writes: false,
+                },
+                fi::FaultEvent::NvmStall {
+                    start: BASE + 10_000_000,
+                    end: BASE + 11_000_000,
+                    extra_ns: 5_000_000,
+                },
+            ],
+        );
+        fi::install_plan(Arc::new(plan));
+        fi::force_enable();
+        let s = nvme();
+        // Typed errors from the fallible primitives inside the window.
+        assert_eq!(s.try_put_at("f", Bytes::from_static(b"x"), BASE), Err(IoFault::NoSpace));
+        assert!(!s.exists("f"), "faulted write must not touch the backend");
+        s.put_at("f", Bytes::from_static(b"x"), 0); // below every window
+        assert_eq!(s.try_read_all_at("f", BASE).unwrap_err(), IoFault::TransientEio);
+        // The infallible wrapper rides the windows out with virtual backoff.
+        let done = s.put_at("g", Bytes::from_static(b"y"), BASE);
+        assert!(done > BASE + 1_000_000, "retries must escape the fault window");
+        assert!(s.exists("g"));
+        // Slow-device stall inflates the op's service time.
+        let slow = s.try_put_at("h", Bytes::from_static(b"z"), BASE + 10_000_000).unwrap();
+        assert!(slow >= BASE + 10_000_000 + 5_000_000);
+        fi::clear_plan();
+        fi::force_disable();
     }
 
     #[test]

@@ -166,6 +166,19 @@ pub enum ViolationKind {
     /// Re-opening a database from crash-state bytes panicked, hung, or
     /// returned an error instead of recovering.
     RecoveryFailed,
+    /// A write acknowledged to the application vanished under injected
+    /// faults (chaos oracle; excludes keys owned by a killed rank).
+    AckedWriteLost,
+    /// A get under injected faults returned a value the workload never
+    /// wrote for that key (chaos oracle).
+    PhantomRead,
+    /// An operation under injected faults failed in an untyped way (panic
+    /// or an error outside the failure-mode whitelist) where a typed error
+    /// was required (chaos oracle).
+    UntypedError,
+    /// A chaos schedule exceeded the watchdog deadline: some rank hung
+    /// instead of timing out with a typed error.
+    ChaosHang,
 }
 
 impl ViolationKind {
@@ -189,6 +202,10 @@ impl ViolationKind {
             ViolationKind::DurabilityLost => "durability-lost",
             ViolationKind::PhantomPair => "phantom-pair",
             ViolationKind::RecoveryFailed => "recovery-failed",
+            ViolationKind::AckedWriteLost => "acked-write-lost",
+            ViolationKind::PhantomRead => "phantom-read",
+            ViolationKind::UntypedError => "untyped-error",
+            ViolationKind::ChaosHang => "chaos-hang",
         }
     }
 }

@@ -1,41 +1,74 @@
 //! Fault tolerance with asynchronous checkpoint/restart (paper §4.2,
-//! Figure 5b-c).
+//! Figure 5b-c) — plus the runtime failure path: a rank dying mid-job.
 //!
-//! A long-running iterative solver stores its state in PapyrusKV and
-//! checkpoints every few iterations — asynchronously, so the solver keeps
-//! iterating while the compaction thread drains the snapshot to the
+//! Part 1: a long-running iterative solver stores its state in PapyrusKV
+//! and checkpoints every few iterations — asynchronously, so the solver
+//! keeps iterating while the compaction thread drains the snapshot to the
 //! parallel file system. After a simulated node failure (the NVM scratch is
 //! trimmed), the job restarts from the last snapshot; a second restart uses
 //! the *redistribution* path as if the job came back with a different
 //! layout.
+//!
+//! Part 2: instead of losing the whole node, one *rank* dies mid-run with
+//! the `PAPYRUS_FAULTS` plane on. The failure detector confirms the death,
+//! so keys owned by the dead rank surface as typed
+//! [`papyruskv::error::Error::RankUnavailable`] errors — not hangs — while
+//! local and surviving-rank keys stay serviceable (degraded mode). A fresh
+//! job sharing the same PFS then restarts from the last snapshot and gets
+//! every key back.
+
+use std::sync::Arc;
 
 use papyrus_examples::{fmt_sim, ranks_from_args};
+use papyrus_faultinject::{self as fi, FaultEvent, FaultPlan};
 use papyrus_mpi::{World, WorldConfig};
 use papyrus_nvm::SystemProfile;
+use papyruskv::error::Error;
 use papyruskv::{BarrierLevel, Context, OpenFlags, Options, Platform};
 
 const STATE_VARS: usize = 400;
 const CHECKPOINT_EVERY: usize = 3;
 const ITERATIONS: usize = 9;
 
+/// Degraded-mode demo sizing: keys, snapshot path, and the victim's kill
+/// time (virtual) — comfortably after the snapshot completes.
+const DEG_VARS: usize = 200;
+const DEG_SNAP: &str = "pfs/degraded-snap";
+const KILL_AT_NS: u64 = 1_000_000_000;
+
 fn var_key(i: usize) -> String {
     format!("solver/u/{i:05}")
+}
+
+fn deg_key(i: usize) -> String {
+    format!("deg/u/{i:04}")
 }
 
 fn main() {
     let n = ranks_from_args(4);
     let profile = SystemProfile::summitdev();
-    let platform = Platform::new(profile.clone(), n);
     println!("fault_tolerance: {n} ranks on a simulated {}", profile.name);
 
-    let stats = World::run(WorldConfig::new(n, profile.net.clone()), move |rank| {
+    solver_with_checkpoint_restart(n, &profile);
+    degraded_mode_and_restart(n, &profile);
+}
+
+/// Part 1: asynchronous checkpoints overlapping compute, then two restarts
+/// (verbatim and redistributed) after the NVM scratch is lost.
+fn solver_with_checkpoint_restart(n: usize, profile: &SystemProfile) {
+    let platform = Platform::new(profile.clone(), n);
+    let net = profile.net.clone();
+    let stats = World::run(WorldConfig::new(n, net), move |rank| {
         let ctx = Context::init(rank, platform.clone(), "nvm://solver").unwrap();
         let me = ctx.rank();
         let db = ctx.open("state", OpenFlags::create(), Options::default()).unwrap();
 
         // Iterate a toy relaxation: u[i] <- (u[i] + i) / 2, checkpointing
         // every CHECKPOINT_EVERY iterations without stalling the solver.
-        let mut pending = None;
+        // `pending` remembers when the in-flight snapshot was issued so the
+        // overlap credit below is measured from the transfer's start, not
+        // from whenever we happened to ask for it.
+        let mut pending: Option<(papyruskv::Event, u64)> = None;
         let mut ckpt_overlap_ns = 0u64;
         for iter in 0..ITERATIONS {
             for i in (me..STATE_VARS).step_by(ctx.size()) {
@@ -51,19 +84,20 @@ fn main() {
             if (iter + 1) % CHECKPOINT_EVERY == 0 {
                 // The previous checkpoint must be durable before we take the
                 // next one (classic two-phase checkpoint discipline).
-                if let Some(ev) = pending.take() {
+                if let Some((ev, t_issue)) = pending.take() {
                     let before = ctx.now();
-                    let done: u64 = papyruskv::Event::wait(&ev);
-                    // If the event finished before we asked, the transfer
-                    // fully overlapped with compute.
-                    ckpt_overlap_ns += before.saturating_sub(done.min(before));
-                    let _ = done;
+                    let done = ev.wait_result().expect("checkpoint transfer failed");
+                    // The transfer ran concurrently with compute from its
+                    // issue until it finished (or until this wait, if we
+                    // got here first).
+                    ckpt_overlap_ns += done.min(before).saturating_sub(t_issue);
                 }
-                pending = Some(db.checkpoint("pfs/solver-snap").unwrap());
+                let ev = db.checkpoint("pfs/solver-snap").unwrap();
+                pending = Some((ev, ctx.now()));
             }
         }
-        if let Some(ev) = pending.take() {
-            ev.wait();
+        if let Some((ev, _)) = pending.take() {
+            ev.wait_result().expect("final checkpoint transfer failed");
         }
 
         // Record the solver's answer, then crash the node: scratch trimmed.
@@ -106,8 +140,112 @@ fn main() {
 
     let restart = stats.iter().map(|s| s.0).max().unwrap();
     let rd = stats.iter().map(|s| s.1).max().unwrap();
+    let overlap = stats.iter().map(|s| s.2).max().unwrap();
     println!("recovered state verified on every rank after both restarts");
     println!("restart (verbatim)        : {}", fmt_sim(restart));
     println!("restart (redistribution)  : {}", fmt_sim(rd));
+    println!("checkpoint/compute overlap: {}", fmt_sim(overlap));
     assert!(rd >= restart, "redistribution re-puts every pair, it cannot be cheaper");
+    assert!(overlap > 0, "asynchronous checkpoints must overlap compute");
+}
+
+/// Part 2: one rank dies mid-run; survivors keep operating in degraded mode
+/// with typed errors, and a fresh job restarts from the snapshot.
+fn degraded_mode_and_restart(n: usize, profile: &SystemProfile) {
+    let victim = n - 1;
+    fi::force_enable();
+    fi::install_plan(Arc::new(FaultPlan::with_events(
+        42,
+        vec![FaultEvent::RankKill { rank: victim, at: KILL_AT_NS }],
+    )));
+
+    let platform = Platform::new(profile.clone(), n);
+    let job_platform = platform.clone();
+    let net = profile.net.clone();
+    let counts = World::run(WorldConfig::new(n, net), move |rank| {
+        let ctx = Context::init(rank, job_platform.clone(), "nvm://degraded").unwrap();
+        let me = ctx.rank();
+        let db = ctx.open("state", OpenFlags::create(), Options::default()).unwrap();
+
+        // Fill, make it durable, snapshot — all well before the kill time.
+        for i in (me..DEG_VARS).step_by(ctx.size()) {
+            db.put(deg_key(i).as_bytes(), format!("{i}").as_bytes()).unwrap();
+        }
+        db.barrier(BarrierLevel::SsTable).unwrap();
+        db.checkpoint(DEG_SNAP).unwrap().wait_result().expect("snapshot transfer failed");
+
+        // ... the job runs on; the victim's node dies.
+        ctx.clock().advance(KILL_AT_NS + KILL_AT_NS / 4);
+        if me == victim {
+            // A dead rank does not close, finalize, or say goodbye.
+            return (0usize, 0usize);
+        }
+
+        // Degraded mode: every key is either served or typed-unavailable.
+        let mut served = 0usize;
+        let mut unavailable = 0usize;
+        for i in 0..DEG_VARS {
+            match db.get_opt(deg_key(i).as_bytes()) {
+                Ok(Some(v)) => {
+                    assert_eq!(v.as_ref(), format!("{i}").as_bytes());
+                    served += 1;
+                }
+                Ok(None) => panic!("key {i} vanished without an error"),
+                Err(Error::RankUnavailable(dead)) => {
+                    assert_eq!(dead, victim, "only the victim may be unavailable");
+                    unavailable += 1;
+                }
+                Err(e) => panic!("untyped degraded-mode error: {e:?}"),
+            }
+        }
+        // Collectives report the dead rank by number instead of hanging.
+        match db.barrier(BarrierLevel::MemTable) {
+            Err(Error::RankUnavailable(dead)) => assert_eq!(dead, victim),
+            other => panic!("barrier over a dead member must fail typed, got {other:?}"),
+        }
+        // Background machinery reports typed errors, never panics.
+        for e in db.take_io_errors() {
+            match e {
+                Error::RankUnavailable(_) | Error::StorageFull(_) | Error::Timeout(_) => {}
+                other => panic!("untyped background error: {other:?}"),
+            }
+        }
+        // No collective close/finalize with a dead member: the survivors
+        // abandon the job like the victim's node abandoned it.
+        (served, unavailable)
+    });
+
+    fi::clear_plan();
+    fi::force_disable();
+
+    let served: usize = counts.iter().map(|c| c.0).sum();
+    let unavailable: usize = counts.iter().map(|c| c.1).sum();
+    assert!(unavailable > 0, "the victim must own some keys");
+    assert_eq!(served + unavailable, (n - 1) * DEG_VARS);
+    println!(
+        "degraded mode: {served} keys served, {unavailable} typed-unavailable \
+         across {} survivors",
+        n - 1
+    );
+
+    // A fresh job (same PFS, new NVM scratch) restarts from the snapshot:
+    // nothing acknowledged durable was lost to the rank failure.
+    let fresh = Platform::new_job(profile.clone(), n, &platform);
+    let net = profile.net.clone();
+    World::run(WorldConfig::new(n, net), move |rank| {
+        let ctx = Context::init(rank, fresh.clone(), "nvm://degraded-restart").unwrap();
+        let (db, ev) =
+            ctx.restart(DEG_SNAP, "state", OpenFlags::create(), Options::default(), false).unwrap();
+        ev.wait();
+        for i in 0..DEG_VARS {
+            assert_eq!(
+                db.get(deg_key(i).as_bytes()).unwrap().as_ref(),
+                format!("{i}").as_bytes(),
+                "key {i} lost across the restart"
+            );
+        }
+        db.close().unwrap();
+        ctx.finalize().unwrap();
+    });
+    println!("restart after rank failure: all {DEG_VARS} keys recovered from {DEG_SNAP}");
 }

@@ -1,0 +1,23 @@
+// Seeded fixture: unwrap while decoding a wire message must be flagged —
+// malformed payloads must surface as typed decode errors, not panics.
+
+pub fn decode_header(payload: &[u8]) -> u64 {
+    // Exactly one reportable finding in this file:
+    let head: [u8; 8] = payload[..8].try_into().unwrap();
+    let tail = payload.get(8).copied().unwrap_or(0); // unwrap_or is fine
+    u64::from_le_bytes(head) + u64::from(tail)
+}
+
+pub fn decode_checked(payload: &[u8]) -> u64 {
+    let head: [u8; 8] = payload[..8].try_into().expect("caller validated"); // lint:allow(protocol-unwrap)
+    u64::from_le_bytes(head)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

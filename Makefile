@@ -34,9 +34,12 @@ crashcheck:
 # Chaos soak: seeded fault schedules (I/O errors, ENOSPC, slow devices,
 # delay spikes, rank kills) over a multi-rank workload, judged by a KV
 # oracle — no acked-write loss, no phantoms, typed errors, no hangs —
-# then prove the oracle catches two planted protocol bugs.
+# then prove the oracle catches two planted protocol bugs. The second
+# leg reruns the sweep with replication factor 2, where the oracle drops
+# the dead-owner exemption: acked keys must survive a rank kill.
 chaos:
 	cargo xtask chaos
+	cargo xtask chaos --replicas 2
 	cargo xtask chaos --seed-bug all
 
 # The tier-1 gate: everything CI requires to pass, in one command.

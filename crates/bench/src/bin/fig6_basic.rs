@@ -44,14 +44,14 @@ fn run_config(
     iters: usize,
     vallen: usize,
     seed: u64,
+    replicas: usize,
 ) -> (PhaseResult, PhaseResult, PhaseResult) {
     let platform = Platform::new(profile.clone(), ranks);
     let repo = repo.to_string();
     let per_rank = World::run(WorldConfig::new(ranks, profile.net.clone()), move |rank| {
         let ctx = Context::init(rank.clone(), platform.clone(), &repo).unwrap();
-        let db = ctx
-            .open("basic", OpenFlags::create(), Options::default().with_memtable_capacity(64 << 20))
-            .unwrap();
+        let opt = Options::default().with_memtable_capacity(64 << 20).with_replicas(replicas);
+        let db = ctx.open("basic", OpenFlags::create(), opt).unwrap();
         let keys = random_keys(iters, 16, seed + rank.rank() as u64);
         let value = value_of(vallen, b'v');
 
@@ -102,7 +102,12 @@ fn main() {
         let ranks = if args.full { profile.ranks_per_node } else { profile.ranks_per_node.min(16) };
         let iters = args.iters_or(24, profile.iters.min(1000));
         for (storage, repo) in [("nvm", "nvm://basic"), ("lustre", "pfs://basic")] {
-            println!("\n## {} / {} ({} ranks, {} iters/rank)", profile.name, storage, ranks, iters);
+            let repl =
+                if args.replicas > 1 { format!(", R={}", args.replicas) } else { String::new() };
+            println!(
+                "\n## {} / {} ({} ranks, {} iters/rank{repl})",
+                profile.name, storage, ranks, iters
+            );
             println!(
                 "{:>8} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
                 "value", "put-KRPS", "put-MBPS", "bar-MBPS", "get-KRPS", "get-MBPS", "bar-sec"
@@ -111,7 +116,8 @@ fn main() {
                 // With --telemetry, each begin resets the registry so the
                 // written trace covers the final configuration only.
                 args.telemetry_begin();
-                let (put, bar, get) = run_config(&profile, repo, ranks, iters, vallen, args.seed);
+                let (put, bar, get) =
+                    run_config(&profile, repo, ranks, iters, vallen, args.seed, args.replicas);
                 println!(
                     "{:>8} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>12.4}",
                     size_label(vallen),

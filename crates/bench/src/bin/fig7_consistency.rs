@@ -20,11 +20,15 @@ fn run_config(
     vallen: usize,
     mode: Consistency,
     seed: u64,
+    replicas: usize,
 ) -> (PhaseResult, PhaseResult) {
     let platform = Platform::new(profile.clone(), ranks);
     let per_rank = World::run(WorldConfig::new(ranks, profile.net.clone()), move |rank| {
         let ctx = Context::init(rank.clone(), platform.clone(), "nvm://basic").unwrap();
-        let opt = Options::default().with_memtable_capacity(64 << 20).with_consistency(mode);
+        let opt = Options::default()
+            .with_memtable_capacity(64 << 20)
+            .with_consistency(mode)
+            .with_replicas(replicas);
         let db = ctx.open("basic", OpenFlags::create(), opt).unwrap();
         let keys = random_keys(iters, 16, seed + rank.rank() as u64);
         let value = value_of(vallen, b'v');
@@ -60,16 +64,31 @@ fn main() {
             vec![1, 2, 4, 8, rpn / 2, rpn, rpn * 2, rpn * 4, rpn * 8, rpn * 16];
         let sweep = args.ranks_or(&ranks_default, &ranks_full);
         let iters = args.iters_or(16, profile.iters.min(1000));
-        println!("\n## {} ({} iters/rank, 16B keys, 128KB values)", profile.name, iters);
+        let repl = if args.replicas > 1 { format!(", R={}", args.replicas) } else { String::new() };
+        println!("\n## {} ({} iters/rank, 16B keys, 128KB values{repl})", profile.name, iters);
         println!(
             "{:>6} {:>12} {:>12} {:>12} {:>12}",
             "ranks", "Rel-MBPS", "Seq-MBPS", "Rel+B-MBPS", "Seq+B-MBPS"
         );
         for &n in &sweep {
-            let (rel, rel_b) =
-                run_config(&profile, n, iters, vallen, Consistency::Relaxed, args.seed);
-            let (seq, seq_b) =
-                run_config(&profile, n, iters, vallen, Consistency::Sequential, args.seed);
+            let (rel, rel_b) = run_config(
+                &profile,
+                n,
+                iters,
+                vallen,
+                Consistency::Relaxed,
+                args.seed,
+                args.replicas,
+            );
+            let (seq, seq_b) = run_config(
+                &profile,
+                n,
+                iters,
+                vallen,
+                Consistency::Sequential,
+                args.seed,
+                args.replicas,
+            );
             println!(
                 "{:>6} {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
                 n,

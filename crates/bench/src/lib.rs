@@ -112,6 +112,10 @@ pub struct BenchArgs {
     pub ranks: Option<Vec<usize>>,
     /// Workload seed.
     pub seed: u64,
+    /// Replication factor (`--replicas R`, default 1 = the paper's
+    /// unreplicated behaviour). At 2+ every put also lands on R-1
+    /// successor ranks, so the put columns show the replication overhead.
+    pub replicas: usize,
     /// Chrome-trace output path; `Some` turns telemetry recording on.
     pub telemetry: Option<String>,
 }
@@ -124,13 +128,25 @@ impl BenchArgs {
 
     /// Parse from an explicit iterator (tests).
     pub fn from_args(args: impl IntoIterator<Item = String>) -> Self {
-        let mut out = Self { full: false, iters: None, ranks: None, seed: 0x5EED, telemetry: None };
+        let mut out = Self {
+            full: false,
+            iters: None,
+            ranks: None,
+            seed: 0x5EED,
+            replicas: 1,
+            telemetry: None,
+        };
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--full" => out.full = true,
                 "--iters" => {
                     out.iters = it.next().and_then(|v| v.parse().ok());
+                }
+                "--replicas" => {
+                    if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                        out.replicas = v;
+                    }
                 }
                 "--telemetry" => {
                     out.telemetry = it.next();
@@ -243,16 +259,19 @@ mod tests {
     #[test]
     fn args_parse() {
         let a = BenchArgs::from_args(
-            ["--full", "--iters", "99", "--ranks", "1,2,4", "--seed", "7"].map(String::from),
+            ["--full", "--iters", "99", "--ranks", "1,2,4", "--seed", "7", "--replicas", "2"]
+                .map(String::from),
         );
         assert!(a.full);
         assert_eq!(a.iters, Some(99));
         assert_eq!(a.ranks, Some(vec![1, 2, 4]));
         assert_eq!(a.seed, 7);
+        assert_eq!(a.replicas, 2);
         assert_eq!(a.iters_or(10, 100), 99);
 
         let d = BenchArgs::from_args(std::iter::empty());
         assert!(!d.full);
+        assert_eq!(d.replicas, 1);
         assert_eq!(d.iters_or(10, 100), 10);
         assert_eq!(d.ranks_or(&[1, 2], &[1, 2, 3]), vec![1, 2]);
         let f = BenchArgs::from_args(["--full".to_string()]);

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! chaos [--ranks N] [--per-rank K] [--rounds R] [--seeds S]
-//!       [--seed-base B] [--timeout SECS] [--seed-bug MODE|all] [--verbose]
+//!       [--seed-base B] [--timeout SECS] [--replicas R]
+//!       [--seed-bug MODE|all] [--verbose]
 //! ```
 //!
 //! Without `--seed-bug`: run the default sweep (`S` seeded schedules
@@ -56,6 +57,10 @@ fn main() -> ExitCode {
                 Some(n) => cfg.timeout_secs = n,
                 None => return ExitCode::FAILURE,
             },
+            "--replicas" => match num("--replicas") {
+                Some(n) => cfg.replicas = n as usize,
+                None => return ExitCode::FAILURE,
+            },
             "--seed-bug" => match it.next() {
                 Some(mode) => seed_bug = Some(mode.clone()),
                 None => {
@@ -67,8 +72,11 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: chaos [--ranks N] [--per-rank K] [--rounds R] [--seeds S] \
-                     [--seed-base B] [--timeout SECS] [--seed-bug MODE|all] [--verbose]\n\
-                     seed-bug modes: {}",
+                     [--seed-base B] [--timeout SECS] [--replicas R] \
+                     [--seed-bug MODE|all] [--verbose]\n\
+                     seed-bug modes: {}\n\
+                     --replicas 2+ arms the replication oracle: acked keys \
+                     must survive a rank kill",
                     SEED_BUGS.map(bug_name).join(", ")
                 );
                 return ExitCode::SUCCESS;

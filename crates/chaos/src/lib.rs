@@ -28,6 +28,7 @@
 //! Run it via `cargo xtask chaos` or the `chaos` binary.
 
 pub mod oracle;
+pub mod probes;
 pub mod sweep;
 pub mod workload;
 

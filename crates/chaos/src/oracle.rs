@@ -85,10 +85,12 @@ impl ChaosOracle {
     }
 
     /// Judge one observation of `key`. `owner_dead` exempts the key from the
-    /// loss bound (its owner was killed by the schedule); `strict` enables
-    /// loss checks and is set only in the quiesced verify phase — mid-chaos
-    /// reads check typing and phantoms only, since migrations may still be
-    /// in flight.
+    /// loss bound (its owner was killed by the schedule *and* the store runs
+    /// unreplicated — with a replication factor >= 2 the workload passes
+    /// `false` here, because read failover must keep acked keys readable
+    /// through a single rank kill); `strict` enables loss checks and is set
+    /// only in the quiesced verify phase — mid-chaos reads check typing and
+    /// phantoms only, since migrations may still be in flight.
     pub fn judge(
         &self,
         key: &[u8],
@@ -102,6 +104,14 @@ impl ChaosOracle {
             Err(e) if !error_is_typed(e) => Some((
                 ViolationKind::UntypedError,
                 format!("get {kstr}: untyped error {e:?} escaped the protocol layer"),
+            )),
+            Err(Error::RankUnavailable(r)) if strict && !owner_dead && st.acked > 0 => Some((
+                ViolationKind::AckedWriteLost,
+                format!(
+                    "get {kstr}: RankUnavailable({r}) but round {} was acknowledged durable — \
+                     replication must keep acked keys readable",
+                    st.acked
+                ),
             )),
             Err(_) => None, // typed unavailability is legal degraded behaviour
             Ok(None) => {
@@ -199,8 +209,16 @@ mod tests {
         assert!(o.judge(&k, &Ok(None), true, true).is_none());
         // Mid-chaos (non-strict) reads don't check the loss bound.
         assert!(o.judge(&k, &Ok(None), false, false).is_none());
-        // Typed vs untyped errors.
-        assert!(o.judge(&k, &Err(Error::RankUnavailable(3)), false, true).is_none());
+        // Unexempted unavailability of an acked key (replication armed):
+        // the ring was supposed to keep it readable.
+        let v = o.judge(&k, &Err(Error::RankUnavailable(3)), false, true).unwrap();
+        assert_eq!(v.0, ViolationKind::AckedWriteLost);
+        // The same error is legal when the owner-dead exemption applies
+        // (unreplicated run), mid-chaos, or for a never-acked key.
+        assert!(o.judge(&k, &Err(Error::RankUnavailable(3)), true, true).is_none());
+        assert!(o.judge(&k, &Err(Error::RankUnavailable(3)), false, false).is_none());
+        assert!(o.judge(b"unwritten", &Err(Error::RankUnavailable(3)), false, true).is_none());
+        // Untyped errors are always violations.
         let v = o.judge(&k, &Err(Error::Internal("boom".into())), false, true).unwrap();
         assert_eq!(v.0, ViolationKind::UntypedError);
     }

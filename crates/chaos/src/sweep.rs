@@ -99,7 +99,7 @@ impl ChaosReport {
 
 /// Serialises chaos runs within one process: each run owns the global fault
 /// gate, plan registry, planted-bug slot, and sanity registry.
-fn chaos_lock() -> &'static Mutex<()> {
+pub(crate) fn chaos_lock() -> &'static Mutex<()> {
     static LOCK: std::sync::OnceLock<Mutex<()>> = std::sync::OnceLock::new();
     LOCK.get_or_init(|| Mutex::new(()))
 }

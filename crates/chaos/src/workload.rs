@@ -59,6 +59,12 @@ pub struct ChaosCfg {
     pub timeout_secs: u64,
     /// Schedules in the default sweep (classes cycle per seed).
     pub seeds: usize,
+    /// Replication factor handed to [`Options::with_replicas`]. At 1
+    /// (default) the soak judges the paper's unreplicated semantics: keys
+    /// of a killed owner may become unavailable. At >= 2 the oracle drops
+    /// that exemption — an acked write must stay readable through a
+    /// single rank kill (read failover + re-replication under test).
+    pub replicas: usize,
     /// Print per-schedule progress.
     pub verbose: bool,
 }
@@ -72,6 +78,7 @@ impl Default for ChaosCfg {
             horizon_ns: 4_000_000_000,
             timeout_secs: 60,
             seeds: 20,
+            replicas: 1,
             verbose: false,
         }
     }
@@ -133,7 +140,9 @@ pub fn run_schedule(
     World::run(WorldConfig::for_tests(cfg.ranks), move |rank| {
         let ctx =
             Context::init_with_group(rank, platform.clone(), REPOSITORY, 1).expect("chaos init");
-        let db = ctx.open(DB_NAME, OpenFlags::create(), Options::small()).expect("chaos open");
+        let db = ctx
+            .open(DB_NAME, OpenFlags::create(), Options::small().with_replicas(cfg.replicas))
+            .expect("chaos open");
         let me = ctx.rank();
         let n = ctx.size();
         let step = cfg.horizon_ns / u64::from(cfg.rounds + 1);
@@ -169,7 +178,9 @@ pub fn run_schedule(
                 if got.is_err() {
                     out.typed_errors += 1;
                 }
-                let owner_dead = plan.rank_dead(db.owner_of(&k), ctx.now());
+                // With replication on, a dead owner is no excuse: the ring
+                // must keep acked keys readable, so the exemption is dropped.
+                let owner_dead = plan.rank_dead(db.owner_of(&k), ctx.now()) && cfg.replicas < 2;
                 if let Some((kind, detail)) = oracle.judge(&k, &got, owner_dead, false) {
                     papyrus_sanity::record_violation(
                         kind,
@@ -233,7 +244,9 @@ pub fn run_schedule(
             }
             // Strict verify: probe every key anyone ever wrote.
             for k in oracle.all_keys() {
-                let owner_dead = plan.rank_dead(db.owner_of(&k), ctx.now());
+                // With replication on, a dead owner is no excuse: the ring
+                // must keep acked keys readable, so the exemption is dropped.
+                let owner_dead = plan.rank_dead(db.owner_of(&k), ctx.now()) && cfg.replicas < 2;
                 let got = db.get_opt(&k);
                 out.gets += 1;
                 if got.is_err() {

@@ -14,6 +14,13 @@
 //! <dest>/<db>/r<k>/MANIFEST   next_ssid + live SSID list of rank k
 //! <dest>/<db>/r<k>/sst<id>.*  the SSTable triples
 //! ```
+//!
+//! Replica tables (DESIGN.md §11, `rep<origin>-sst*` files) are
+//! deliberately excluded: a checkpoint already contains every primary's
+//! ranges exactly once, so snapshotting the copies would multiply PFS
+//! traffic by the replication factor to preserve data the restart path
+//! re-derives anyway — a restarted job rebuilds its replica stacks from
+//! fresh puts, the same way an `R`-upgrade of an existing database would.
 
 use std::sync::Arc;
 

@@ -56,12 +56,37 @@ pub(crate) struct DbSync {
     pub closed: bool,
 }
 
+/// Replica data held on behalf of one origin rank (DESIGN §11): a
+/// MemTable fed by `REPL_PUT` batches plus the replica SSTables it flushes
+/// into. Kept per origin and entirely separate from the primary stack so
+/// compaction, the manifest, `audit_db`, and checkpoint never mix primary
+/// and replica data. Replica tables are deliberately *not* manifested:
+/// they are re-derivable from the ring (a successor that lost them
+/// re-receives via re-replication), so crash debris is harmless and
+/// reopen composes primaries only.
+pub(crate) struct ReplicaStack {
+    pub(crate) mem: MemTable,
+    /// Replica SSTables, ascending SSID.
+    pub(crate) ssts: Vec<SstReader>,
+    pub(crate) next_ssid: Ssid,
+}
+
+impl ReplicaStack {
+    pub(crate) fn new() -> Self {
+        Self { mem: MemTable::new(), ssts: Vec::new(), next_ssid: 1 }
+    }
+}
+
 /// Internal database representation shared by the application thread and
 /// the runtime's helper threads.
 pub struct DbInner {
     pub(crate) id: u32,
     pub(crate) name: String,
     pub(crate) opt: Options,
+    /// Effective replication factor: `opt.replicas` clamped to the job
+    /// size. `1` means replication is off and every replica code path is
+    /// skipped (bit-compatible with pre-replication builds).
+    pub(crate) repl_n: usize,
     pub(crate) state: RwLock<DbState>,
     pub(crate) dist: Distributor,
 
@@ -76,6 +101,10 @@ pub struct DbInner {
     /// Live SSTables, ascending SSID.
     pub(crate) ssts: RwLock<Vec<SstReader>>,
     pub(crate) next_ssid: AtomicU64,
+
+    /// Per-origin replica stacks (R >= 2 only; empty otherwise). Fed by
+    /// the handler thread, read by failover gets and re-replication.
+    pub(crate) repl: Mutex<HashMap<u32, ReplicaStack>>,
 
     pub(crate) sync: Mutex<DbSync>,
     pub(crate) sync_cv: Condvar,
@@ -220,9 +249,11 @@ impl DbInner {
         };
 
         let dist = Distributor::new(opt.custom_hash.clone(), ctx.rank.size());
+        let repl_n = papyrus_replica::effective_factor(opt.replicas, ctx.rank.size());
         let db = Arc::new(DbInner {
             id,
             name: name.to_string(),
+            repl_n,
             state: RwLock::new(DbState {
                 consistency: opt.consistency,
                 protection: opt.protection,
@@ -236,6 +267,7 @@ impl DbInner {
             remote_cache: Mutex::new(LruCache::new(opt.remote_cache_capacity)),
             ssts: RwLock::new(readers),
             next_ssid: AtomicU64::new(next_ssid),
+            repl: Mutex::new(HashMap::new()),
             sync: Mutex::new(DbSync {
                 pending_flushes: 0,
                 migration_inflight: 0,
@@ -523,36 +555,62 @@ pub(crate) fn run_migration(ctx: &CtxInner, db: &Arc<DbInner>, mt: Arc<MemTable>
     let mut owners: Vec<usize> = per_owner.keys().copied().collect();
     owners.sort_unstable();
     let fault_on = fi::enabled();
+    let me = ctx.rank.rank();
     let mut last_arrive = stamp;
     for owner in owners {
         let records = &per_owner[&owner];
-        pkv_trace!("[r{}] migrate {} records -> r{owner}", ctx.rank.rank(), records.len());
-        if !fault_on {
-            let payload = msg::encode_migrate(db.id, 0, records);
-            let arrive = ctx.comm_req.send_at(owner, tags::MIGRATE, payload, stamp);
-            last_arrive = last_arrive.max(arrive);
-            db.migrate_backlog.merge(arrive);
-            continue;
-        }
-        // Fault plane on: the batch is acked by the owner's handler so a
-        // black-holed send is detected and resent (re-applying a batch is
-        // idempotent). A confirmed-dead owner's records are dropped with a
-        // typed error in the sink — their keys are unavailable until
-        // restart, which the chaos oracle accounts for.
-        match crate::runtime::rpc_with_retry(
-            ctx,
-            &db.tel,
-            owner,
-            tags::MIGRATE,
-            tags::MIGRATE_ACK,
-            "migrate",
-            &mut |seq| msg::encode_migrate(db.id, seq, records),
-        ) {
-            Ok(ack) => {
-                last_arrive = last_arrive.max(ack.stamp);
-                db.migrate_backlog.merge(ack.stamp);
+        // An `owner == me` group exists only under R >= 2: local puts are
+        // staged here purely so their replica copies ride the batched path.
+        // The primary copy is already in the local stack — no self-migrate.
+        if owner != me {
+            pkv_trace!("[r{me}] migrate {} records -> r{owner}", records.len());
+            if !fault_on {
+                let payload = msg::encode_migrate(db.id, 0, records);
+                let arrive = ctx.comm_req.send_at(owner, tags::MIGRATE, payload, stamp);
+                last_arrive = last_arrive.max(arrive);
+                db.migrate_backlog.merge(arrive);
+            } else {
+                // Fault plane on: the batch is acked by the owner's handler
+                // so a black-holed send is detected and resent (re-applying
+                // a batch is idempotent). A confirmed-dead owner's records
+                // are dropped with a typed error in the sink — their keys
+                // are unavailable until restart, which the chaos oracle
+                // accounts for.
+                match crate::runtime::rpc_with_retry(
+                    ctx,
+                    &db.tel,
+                    owner,
+                    tags::MIGRATE,
+                    tags::MIGRATE_ACK,
+                    "migrate",
+                    &mut |seq| msg::encode_migrate(db.id, seq, records),
+                ) {
+                    Ok(ack) => {
+                        last_arrive = last_arrive.max(ack.stamp);
+                        db.migrate_backlog.merge(ack.stamp);
+                    }
+                    Err(e) => {
+                        if let Error::RankUnavailable(dead) = e {
+                            maybe_promote(ctx, db, dead);
+                        }
+                        db.io_errors.lock().push(e);
+                    }
+                }
             }
-            Err(e) => db.io_errors.lock().push(e),
+        }
+        // Replica fan-out (R >= 2): every batch is also copied to the
+        // owner's successor ranks on the ring. Replica batches ride the
+        // same FIFO request channel as barrier marks, so a successful
+        // barrier proves every replica copy sent before it was ingested —
+        // the "bounded replication queue drained at barrier/fence".
+        if db.repl_n >= 2 {
+            match forward_replicas(ctx, db, owner, records, stamp, false) {
+                Ok(arrive) => {
+                    last_arrive = last_arrive.max(arrive);
+                    db.migrate_backlog.merge(arrive);
+                }
+                Err(e) => db.io_errors.lock().push(e),
+            }
         }
     }
     db.tel.migrate_count.inc();
@@ -583,6 +641,382 @@ pub(crate) fn apply_incoming_records(
     db.tel.ingest_records.add(records.len() as u64);
     db.tel.rec.span("core", "ingest", TID_HANDLER, stamp, done);
     done
+}
+
+// ---------------------------------------------------------------------------
+// Replication (DESIGN §11)
+// ---------------------------------------------------------------------------
+//
+// Replication is writer-driven: the application thread (sequential mode)
+// or the dispatcher thread (relaxed mode) fans a put batch out to the
+// owner's successor ranks. The message handler only ever ingests replica
+// batches locally — it never forwards or blocks on another rank's ack —
+// so synchronous writers waiting on `REPL_ACK` cannot close a cross-rank
+// cycle of blocked handlers.
+
+/// Copy `records` (owned by `origin`) to one successor rank. Fire-and-
+/// forget on the happy path; deadline/retry/failure-detection RPC under
+/// the fault plane. Returns the arrive/ack stamp.
+fn send_repl_batch(
+    ctx: &CtxInner,
+    db: &Arc<DbInner>,
+    dst: usize,
+    origin: usize,
+    records: &[KvRecord],
+    stamp: SimNs,
+) -> Result<SimNs> {
+    if !fi::enabled() {
+        let payload = msg::encode_repl_put(db.id, origin as u32, false, 0, records);
+        return Ok(ctx.comm_req.send_at(dst, tags::REPL_PUT, payload, stamp));
+    }
+    let ack = crate::runtime::rpc_with_retry(
+        ctx,
+        &db.tel,
+        dst,
+        tags::REPL_PUT,
+        tags::REPL_ACK,
+        "replica forward",
+        &mut |seq| msg::encode_repl_put(db.id, origin as u32, true, seq, records),
+    )?;
+    Ok(ack.stamp)
+}
+
+/// Fan `records` out to every successor of `owner` (self-copies are
+/// applied locally). With `sync` set (sequential-consistency writers) a
+/// non-fatal delivery failure other than a confirmed-dead successor
+/// aborts the put so the caller never acks an under-replicated write;
+/// without it (dispatcher batches) every failure lands in `io_errors`
+/// and the remaining successors still get their copy. A confirmed-dead
+/// successor is always non-fatal: the primary copy is intact and the
+/// ring is merely degraded until re-replication heals it.
+fn forward_replicas(
+    ctx: &CtxInner,
+    db: &Arc<DbInner>,
+    owner: usize,
+    records: &[KvRecord],
+    stamp: SimNs,
+    sync: bool,
+) -> Result<SimNs> {
+    let me = ctx.rank.rank();
+    let n = ctx.rank.size();
+    let mut last = stamp;
+    for s in papyrus_replica::successors(owner, n, db.repl_n) {
+        if s == me {
+            last = last.max(apply_replica_records(ctx, db, owner, records, stamp));
+            continue;
+        }
+        match send_repl_batch(ctx, db, s, owner, records, stamp) {
+            Ok(arrive) => {
+                last = last.max(arrive);
+                if db.tel.on() {
+                    db.tel.repl_forwards.inc();
+                    db.tel.repl_lag_ns.record(arrive.saturating_sub(stamp));
+                }
+            }
+            Err(e @ Error::RankUnavailable(_)) => {
+                if let Error::RankUnavailable(dead) = e {
+                    maybe_promote(ctx, db, dead);
+                }
+                db.io_errors.lock().push(e);
+            }
+            Err(e) if sync => return Err(e),
+            Err(e) => db.io_errors.lock().push(e),
+        }
+    }
+    Ok(last)
+}
+
+/// Handler-side (or self-copy) ingestion of a replica batch into the
+/// per-origin replica stack. Purely local: inserts into the replica
+/// MemTable and flushes it inline to a replica SSTable when over
+/// capacity. Returns the service-completion stamp.
+pub(crate) fn apply_replica_records(
+    ctx: &CtxInner,
+    db: &Arc<DbInner>,
+    origin: usize,
+    records: &[KvRecord],
+    stamp: SimNs,
+) -> SimNs {
+    let clk = Clock::starting_at(stamp);
+    let mem = &ctx.platform.profile.mem;
+    {
+        let mut repl = db.repl.lock();
+        let stack = repl.entry(origin as u32).or_insert_with(ReplicaStack::new);
+        for r in records {
+            clk.advance(mem.op_ns((r.key.len() + r.value.len()) as u64));
+            let entry =
+                if r.tombstone { Entry::tombstone() } else { Entry::value(r.value.clone()) };
+            stack.mem.insert(&r.key, entry);
+        }
+        if stack.mem.bytes() >= db.opt.memtable_capacity {
+            flush_replica_stack(ctx, db, origin, stack, &clk);
+        }
+    }
+    let done = clk.now();
+    db.ingest_backlog.merge(done);
+    if db.tel.on() {
+        db.tel.ingest_records.add(records.len() as u64);
+        db.tel.rec.span("core", "repl.ingest", TID_HANDLER, stamp, done);
+    }
+    done
+}
+
+/// Flush a replica MemTable into a replica SSTable (inline on the calling
+/// thread — replica stacks skip the flush queue and the manifest: they
+/// are re-derivable via re-replication, so crash debris is harmless).
+fn flush_replica_stack(
+    ctx: &CtxInner,
+    db: &Arc<DbInner>,
+    origin: usize,
+    stack: &mut ReplicaStack,
+    clk: &Clock,
+) {
+    if stack.mem.is_empty() {
+        return;
+    }
+    let store = ctx.repo_store();
+    let me = ctx.rank.rank();
+    let entries: Vec<(Vec<u8>, Entry)> =
+        stack.mem.iter().map(|(k, e)| (k.to_vec(), e.clone())).collect();
+    let ssid = stack.next_ssid;
+    stack.next_ssid += 1;
+    let base = sstable::repl_sst_base(&ctx.repo.prefix, &db.name, me, origin, ssid);
+    let (reader, done) = if fi::enabled() {
+        match sstable::try_build_at(&store, &base, ssid, &entries, clk.now()) {
+            Ok(built) => built,
+            Err(fault) => {
+                // Same ride-out as `run_flush`: replica data backs acked
+                // writes, so the build must not drop it; `ENOSPC` is
+                // surfaced as a typed error first.
+                if fault == papyrus_nvm::IoFault::NoSpace {
+                    db.io_errors.lock().push(Error::StorageFull(format!(
+                        "replica flush rep{origin}-sst{ssid} of db {}",
+                        db.name
+                    )));
+                }
+                sstable::build_at(&store, &base, ssid, &entries, clk.now())
+            }
+        }
+    } else {
+        sstable::build_at(&store, &base, ssid, &entries, clk.now())
+    };
+    clk.merge(done);
+    stack.ssts.push(reader);
+    stack.mem = MemTable::new();
+}
+
+/// Search the replica stack held for `origin`: replica MemTable first,
+/// then replica SSTables newest-first.
+fn replica_lookup(
+    ctx: &CtxInner,
+    db: &Arc<DbInner>,
+    origin: usize,
+    key: &[u8],
+    clk: &Clock,
+) -> Lookup {
+    let mem = &ctx.platform.profile.mem;
+    let repl = db.repl.lock();
+    let Some(stack) = repl.get(&(origin as u32)) else { return Lookup::Miss };
+    clk.advance(mem.op_ns(key.len() as u64));
+    if let Some(e) = stack.mem.get(key) {
+        return Lookup::from(e);
+    }
+    for reader in stack.ssts.iter().rev() {
+        if db.opt.bloom_filter {
+            if !reader.maybe_contains(key) {
+                db.tel.bloom_neg.inc();
+                continue;
+            }
+            db.tel.bloom_pass.inc();
+        }
+        let (res, done) = reader.get_at(key, db.opt.bin_search, clk.now());
+        clk.merge(done);
+        match res {
+            SstGet::Found(v) => return Lookup::Found(v),
+            SstGet::Tombstone => return Lookup::Tombstone,
+            SstGet::NotFound => continue,
+        }
+    }
+    Lookup::Miss
+}
+
+/// Handler-side service of a failover get against the replica stack for
+/// `origin`. Returns the response and the service-completion stamp.
+pub(crate) fn serve_replica_get(
+    ctx: &CtxInner,
+    db: &Arc<DbInner>,
+    origin: usize,
+    key: &[u8],
+    stamp: SimNs,
+) -> (GetResp, SimNs) {
+    let clk = Clock::starting_at(stamp);
+    let resp = match replica_lookup(ctx, db, origin, key, &clk) {
+        Lookup::Found(v) => GetResp::Found(v),
+        Lookup::Tombstone | Lookup::Miss => GetResp::NotFound,
+    };
+    let end = clk.now();
+    if db.tel.on() {
+        db.tel.serve_gets.inc();
+        db.tel.rec.span("core", "repl.serve_get", TID_HANDLER, stamp, end);
+    }
+    (resp, end)
+}
+
+/// Read failover (R >= 2): the owner is confirmed dead, so walk its
+/// successors in ring order and serve the get from the first live
+/// replica. A self-copy is read directly from the local replica stack.
+fn failover_get(
+    ctx: &CtxInner,
+    db: &Arc<DbInner>,
+    key: &[u8],
+    owner: usize,
+    clock: &Clock,
+) -> Result<Lookup> {
+    let me = ctx.rank.rank();
+    let n = ctx.rank.size();
+    if db.tel.on() {
+        db.tel.repl_failovers.inc();
+    }
+    pkv_trace!("[r{me}] failover get key={:?} dead owner={owner}", String::from_utf8_lossy(key));
+    let remote_cache_on = db.opt.remote_cache || db.state.read().protection == Protection::ReadOnly;
+    let mut last_err = Error::RankUnavailable(owner);
+    for s in papyrus_replica::successors(owner, n, db.repl_n) {
+        if s == me {
+            // This rank holds a replica itself: promote if first-live, then
+            // answer from the local replica stack.
+            maybe_promote(ctx, db, owner);
+            return Ok(replica_lookup(ctx, db, owner, key, clock));
+        }
+        if ctx.comm_req.rank_known_dead(s) {
+            continue;
+        }
+        match crate::runtime::rpc_with_retry(
+            ctx,
+            &db.tel,
+            s,
+            tags::REPL_GET,
+            tags::REPL_RESP,
+            "failover get",
+            &mut |seq| msg::encode_repl_get(db.id, owner as u32, seq, key),
+        ) {
+            Ok(m) => {
+                let resp = msg::decode_get_resp(m.payload).ok().map(|(_, r)| r);
+                return Ok(match resp {
+                    Some(GetResp::Found(v)) => {
+                        if remote_cache_on {
+                            db.remote_cache.lock().insert(key, CacheEntry::value(v.clone()));
+                        }
+                        Lookup::Found(v)
+                    }
+                    _ => Lookup::Miss,
+                });
+            }
+            Err(e @ Error::RankUnavailable(_)) => {
+                last_err = e;
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last_err)
+}
+
+/// Promotion check, called wherever a rank discovers `dead` is gone
+/// (failed barrier, failover get, RPC failure, incoming `REPL_GET`). If
+/// this rank is the first live successor of `dead` it claims primary
+/// ownership of the dead rank's ranges in the job-wide promotion table
+/// (first claim wins) and queues background re-replication to bring the
+/// ring back to `R` copies. Free when replication is off.
+pub(crate) fn maybe_promote(ctx: &CtxInner, db: &Arc<DbInner>, dead: usize) {
+    if db.repl_n < 2 {
+        return;
+    }
+    let me = ctx.rank.rank();
+    if dead == me || dead >= ctx.rank.size() {
+        return;
+    }
+    let n = ctx.rank.size();
+    let is_dead = |r: usize| r == dead || ctx.comm_req.rank_known_dead(r);
+    if papyrus_replica::first_live_successor(dead, n, &is_dead) != Some(me) {
+        return;
+    }
+    if ctx.platform.repl.claim(db.id, dead, me) != papyrus_replica::Claim::Won {
+        return;
+    }
+    if db.tel.on() {
+        db.tel.repl_promotions.inc();
+    }
+    pkv_trace!("[r{me}] promoted to primary for dead rank {dead} (db {})", db.name);
+    // Counted in `migration_inflight` so `fence` doubles as the
+    // re-replication drain point.
+    db.sync.lock().migration_inflight += 1;
+    ctx.migrate_q.push(MigrateJob::Rereplicate {
+        db: db.clone(),
+        origin: dead,
+        stamp: ctx.clock().now(),
+    });
+}
+
+/// Everything this rank replicates for `origin`, merged newest-wins
+/// across the replica MemTable and replica SSTables. Tombstones are kept
+/// as records — re-replication must propagate deletions.
+fn replica_records(db: &Arc<DbInner>, origin: usize) -> Vec<KvRecord> {
+    use std::collections::BTreeMap;
+    let repl = db.repl.lock();
+    let Some(stack) = repl.get(&(origin as u32)) else { return Vec::new() };
+    let mut merged: BTreeMap<Vec<u8>, (Bytes, bool)> = BTreeMap::new();
+    // Oldest layer first so newer layers overwrite.
+    for reader in stack.ssts.iter() {
+        if let Some(records) = reader.records_uncharged() {
+            for (k, e) in records {
+                merged.insert(k, (e.value, e.tombstone));
+            }
+        }
+    }
+    for (k, e) in stack.mem.iter() {
+        merged.insert(k.to_vec(), (e.value.clone(), e.tombstone));
+    }
+    merged.into_iter().map(|(key, (value, tombstone))| KvRecord { key, value, tombstone }).collect()
+}
+
+/// Dispatcher-thread body for one re-replication job: copy the promoted
+/// ranges of `origin` to the new successor set so the ring holds `R`
+/// copies again (DESIGN §11). Runs only after a promotion claim, i.e.
+/// always under the fault plane.
+pub(crate) fn run_rereplication(ctx: &CtxInner, db: &Arc<DbInner>, origin: usize, stamp: SimNs) {
+    let me = ctx.rank.rank();
+    let n = ctx.rank.size();
+    let records = replica_records(db, origin);
+    let is_dead = |r: usize| r == origin || ctx.comm_req.rank_known_dead(r);
+    let targets: Vec<usize> = papyrus_replica::heal_set(origin, n, db.repl_n, &is_dead)
+        .into_iter()
+        .filter(|&r| r != me)
+        .collect();
+    let bytes: u64 = records.iter().map(|r| (r.key.len() + r.value.len()) as u64).sum();
+    let mut last = stamp;
+    if !records.is_empty() {
+        for t in targets {
+            pkv_trace!("[r{me}] rereplicate {} records of r{origin} -> r{t}", records.len());
+            match send_repl_batch(ctx, db, t, origin, &records, stamp) {
+                Ok(done) => {
+                    last = last.max(done);
+                    db.migrate_backlog.merge(done);
+                    if db.tel.on() {
+                        db.tel.repl_forwards.inc();
+                        db.tel.repl_rereplicated_bytes.add(bytes);
+                        db.tel.repl_lag_ns.record(done.saturating_sub(stamp));
+                    }
+                }
+                Err(e) => db.io_errors.lock().push(e),
+            }
+        }
+    }
+    if db.tel.on() {
+        db.tel.rec.span("core", "rereplicate", TID_DISPATCH, stamp, last);
+    }
+    let mut sync = db.sync.lock();
+    sync.migration_inflight -= 1;
+    db.sync_cv.notify_all();
 }
 
 // ---------------------------------------------------------------------------
@@ -698,10 +1132,36 @@ pub(crate) fn serve_remote_get(
     (resp, end)
 }
 
-/// Caller-side remote get: remote MemTable / migration queue / remote
+/// Caller-side remote get. Delegates to the primary-owner path and, with
+/// replication on, falls over to the owner's successor replicas when the
+/// owner is confirmed dead (DESIGN §11) — an acked write stays readable
+/// through a single rank kill.
+fn remote_get(
+    ctx: &CtxInner,
+    db: &Arc<DbInner>,
+    key: &[u8],
+    owner: usize,
+    clock: &Clock,
+) -> Result<Lookup> {
+    if db.repl_n >= 2 && ctx.comm_req.rank_known_dead(owner) {
+        // The fabric already returned a sticky dead verdict for the owner;
+        // skip the doomed primary round trip entirely.
+        maybe_promote(ctx, db, owner);
+        return failover_get(ctx, db, key, owner, clock);
+    }
+    match remote_get_primary(ctx, db, key, owner, clock) {
+        Err(Error::RankUnavailable(dead)) if db.repl_n >= 2 && dead == owner => {
+            maybe_promote(ctx, db, dead);
+            failover_get(ctx, db, key, owner, clock)
+        }
+        other => other,
+    }
+}
+
+/// Primary-owner remote get: remote MemTable / migration queue / remote
 /// cache, then a request message, then (storage group) shared-SSTable
 /// search (§2.6-§2.7, Figure 3).
-fn remote_get(
+fn remote_get_primary(
     ctx: &CtxInner,
     db: &Arc<DbInner>,
     key: &[u8],
@@ -943,7 +1403,12 @@ pub(crate) fn barrier_inner(ctx: &CtxInner, db: &Arc<DbInner>, level: BarrierLev
         // timed and probes the failure detector between slices (outside the
         // sync lock so the handler can keep recording marks). The dead rank
         // is reported by number instead of hanging the barrier.
-        await_barrier_marks_faulty(ctx, db, epoch, n)?
+        await_barrier_marks_faulty(ctx, db, epoch, n).map_err(|e| {
+            if let Error::RankUnavailable(dead) = e {
+                maybe_promote(ctx, db, dead);
+            }
+            e
+        })?
     };
     clock.merge(mark_stamp);
     clock.merge(db.ingest_backlog.now());
@@ -959,7 +1424,10 @@ pub(crate) fn barrier_inner(ctx: &CtxInner, db: &Arc<DbInner>, level: BarrierLev
     }
 
     if fi::enabled() {
-        ctx.comm_ctl.try_barrier().map_err(Error::RankUnavailable)?;
+        ctx.comm_ctl.try_barrier().map_err(|dead| {
+            maybe_promote(ctx, db, dead);
+            Error::RankUnavailable(dead)
+        })?;
     } else {
         ctx.comm_ctl.barrier();
     }
@@ -1084,8 +1552,43 @@ impl Db {
         let me = ctx.rank.rank();
         if owner == me {
             pkv_trace!("[r{me}] put local key={:?}", String::from_utf8_lossy(key));
+            let repl_val = if db.repl_n >= 2 { Some(value.clone()) } else { None };
             let entry = if tombstone { Entry::tombstone() } else { Entry::value(value) };
             insert_local_entry(ctx, db, key, entry, clock);
+            if let Some(v) = repl_val {
+                match state.consistency {
+                    Consistency::Sequential => {
+                        // Synchronous fan-out: the put does not return until
+                        // every live successor holds the record (DESIGN §11).
+                        let rec = KvRecord { key: key.to_vec(), value: v, tombstone };
+                        forward_replicas(
+                            ctx,
+                            db,
+                            me,
+                            std::slice::from_ref(&rec),
+                            clock.now(),
+                            true,
+                        )?;
+                    }
+                    Consistency::Relaxed => {
+                        // Stage the copy in the remote MemTable under owner =
+                        // me — the bounded replication queue. The dispatcher's
+                        // migration pass fans owner==me groups out to the
+                        // successors, and the FIFO barrier mark proves they
+                        // are ingested before the barrier completes.
+                        let mem = &ctx.platform.profile.mem;
+                        clock.advance(mem.op_ns((key.len() + v.len()) as u64));
+                        let over = {
+                            let mut remote = db.remote.lock();
+                            remote.insert(key, Entry::remote(v, tombstone, me as u32));
+                            remote.bytes() >= db.opt.remote_memtable_capacity
+                        };
+                        if over {
+                            freeze_remote(ctx, db, clock.now());
+                        }
+                    }
+                }
+            }
             if db.tel.on() {
                 db.tel.put_local.inc();
                 db.tel.put_ns.record(clock.now().saturating_sub(start));
@@ -1133,13 +1636,32 @@ impl Db {
                         tags::PUT_ACK,
                         "synchronous put",
                         &mut |seq| msg::encode_put_sync(db.id, seq, &rec),
-                    )?;
+                    )
+                    .map_err(|e| {
+                        if let Error::RankUnavailable(dead) = e {
+                            maybe_promote(ctx, db, dead);
+                        }
+                        e
+                    })?;
                 } else {
                     ctx.comm_req.send(owner, tags::PUT_SYNC, msg::encode_put_sync(db.id, 0, &rec));
                     ctx.comm_rep.recv(
                         papyrus_mpi::RecvSrc::Rank(owner),
                         papyrus_mpi::RecvTag::Tag(tags::PUT_ACK),
                     );
+                }
+                if db.repl_n >= 2 {
+                    // The owner has acked; its successors must hold the
+                    // record before this put returns, so a single rank kill
+                    // cannot lose an acked sequential write.
+                    forward_replicas(
+                        ctx,
+                        db,
+                        owner,
+                        std::slice::from_ref(&rec),
+                        clock.now(),
+                        true,
+                    )?;
                 }
                 if db.tel.on() {
                     db.tel.put_sync.inc();

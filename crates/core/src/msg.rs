@@ -22,6 +22,14 @@ pub mod tags {
     pub const BARRIER_MARK: u32 = 4;
     /// Handler shutdown (sent by the own rank at finalize).
     pub const SHUTDOWN: u32 = 5;
+    /// Replica copy of a put batch, forwarded to a successor rank of the
+    /// owner (DESIGN §11). Rides the same FIFO request channel as
+    /// `BARRIER_MARK`, so a successful barrier proves every replica batch
+    /// sent before it has been ingested.
+    pub const REPL_PUT: u32 = 6;
+    /// Failover get served from a successor's replica tables after the
+    /// owner rank died.
+    pub const REPL_GET: u32 = 7;
     /// Tags on the reply communicator (caller side).
     pub const PUT_ACK: u32 = 10;
     /// Remote get response.
@@ -30,6 +38,11 @@ pub mod tags {
     /// `PAPYRUS_FAULTS` plane is on; the gate is process-global, so sender
     /// and receiver always agree on whether acks flow).
     pub const MIGRATE_ACK: u32 = 12;
+    /// Replica-batch acknowledgement (sent only when the `REPL_PUT` header
+    /// requests one: synchronous forwards and fault-plane dispatch).
+    pub const REPL_ACK: u32 = 13;
+    /// Failover-get response (same body as `GET_RESP`).
+    pub const REPL_RESP: u32 = 14;
 }
 
 /// RPC sequence number carried by every request and echoed by its reply.
@@ -232,6 +245,79 @@ pub fn decode_get_resp(mut buf: Bytes) -> Result<(RpcSeq, GetResp)> {
     Ok((seq, resp))
 }
 
+/// Encode a replica put batch: `[db: u32][origin: u32][want_ack: u8]`
+/// `[seq: u64][count: u32]` then the migrate record format. `origin` is the
+/// owner rank whose ranges the records belong to — the receiver files them
+/// in its per-origin replica tables, never in its primary stack.
+pub fn encode_repl_put(
+    db: u32,
+    origin: u32,
+    want_ack: bool,
+    seq: RpcSeq,
+    records: &[KvRecord],
+) -> Bytes {
+    let mut buf = BytesMut::with_capacity(
+        21 + records.iter().map(|r| 9 + r.key.len() + r.value.len()).sum::<usize>(),
+    );
+    buf.put_u32_le(db);
+    buf.put_u32_le(origin);
+    buf.put_u8(u8::from(want_ack));
+    buf.put_u64_le(seq);
+    buf.put_u32_le(records.len() as u32);
+    for r in records {
+        buf.put_u8(u8::from(r.tombstone));
+        put_bytes(&mut buf, &r.key);
+        put_bytes(&mut buf, &r.value);
+    }
+    buf.freeze()
+}
+
+/// Decode a replica put batch.
+pub fn decode_repl_put(mut buf: Bytes) -> Result<(u32, u32, bool, RpcSeq, Vec<KvRecord>)> {
+    if buf.remaining() < 21 {
+        return Err(Error::Internal("truncated repl_put header".into()));
+    }
+    let db = buf.get_u32_le();
+    let origin = buf.get_u32_le();
+    let want_ack = buf.get_u8() != 0;
+    let seq = buf.get_u64_le();
+    let count = buf.get_u32_le() as usize;
+    let mut records = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        if buf.remaining() < 1 {
+            return Err(Error::Internal("truncated repl_put record".into()));
+        }
+        let tombstone = buf.get_u8() != 0;
+        let key = get_bytes(&mut buf)?.to_vec();
+        let value = get_bytes(&mut buf)?;
+        records.push(KvRecord { key, value, tombstone });
+    }
+    Ok((db, origin, want_ack, seq, records))
+}
+
+/// Encode a failover get: `[db: u32][origin: u32][seq: u64][key]`. The
+/// receiver searches its replica tables for `origin`'s ranges.
+pub fn encode_repl_get(db: u32, origin: u32, seq: RpcSeq, key: &[u8]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(20 + key.len());
+    buf.put_u32_le(db);
+    buf.put_u32_le(origin);
+    buf.put_u64_le(seq);
+    put_bytes(&mut buf, key);
+    buf.freeze()
+}
+
+/// Decode a failover get.
+pub fn decode_repl_get(mut buf: Bytes) -> Result<(u32, u32, RpcSeq, Bytes)> {
+    if buf.remaining() < 16 {
+        return Err(Error::Internal("truncated repl_get".into()));
+    }
+    let db = buf.get_u32_le();
+    let origin = buf.get_u32_le();
+    let seq = buf.get_u64_le();
+    let key = get_bytes(&mut buf)?;
+    Ok((db, origin, seq, key))
+}
+
 /// Encode a barrier marker: `[db: u32][epoch: u64]`.
 pub fn encode_barrier_mark(db: u32, epoch: u64) -> Bytes {
     let mut buf = BytesMut::with_capacity(12);
@@ -321,6 +407,49 @@ mod tests {
         let fresh = encode_get_resp(2, &GetResp::Found(Bytes::from_static(b"v")));
         assert_eq!(decode_get_resp(stale).unwrap().0, 1);
         assert_eq!(decode_get_resp(fresh).unwrap().0, 2);
+    }
+
+    #[test]
+    fn repl_put_roundtrip() {
+        let records = vec![rec("a", "1", false), rec("gone", "", true)];
+        for want_ack in [false, true] {
+            let buf = encode_repl_put(5, 3, want_ack, 88, &records);
+            let (db, origin, ack, seq, got) = decode_repl_put(buf).unwrap();
+            assert_eq!((db, origin, ack, seq), (5, 3, want_ack, 88));
+            assert_eq!(got, records);
+        }
+    }
+
+    #[test]
+    fn repl_get_roundtrip() {
+        let (db, origin, seq, key) = decode_repl_get(encode_repl_get(2, 1, 31, b"k7")).unwrap();
+        assert_eq!((db, origin, seq), (2, 1, 31));
+        assert_eq!(&key[..], b"k7");
+    }
+
+    #[test]
+    fn repl_replies_are_seq_first() {
+        // `rpc_with_retry` pairs replies by peeking the first 8 bytes; the
+        // replica replies reuse the ack/get_resp encodings, which must keep
+        // the sequence number leading.
+        let ack = encode_ack(0x0123_4567_89ab_cdef);
+        assert_eq!(&ack[..8], &0x0123_4567_89ab_cdefu64.to_le_bytes());
+        let resp = encode_get_resp(0xfeed_f00d, &GetResp::NotFound);
+        assert_eq!(&resp[..8], &0xfeed_f00du64.to_le_bytes());
+    }
+
+    #[test]
+    fn repl_truncations_error_not_panic() {
+        assert!(decode_repl_put(Bytes::from_static(&[1, 2, 3])).is_err());
+        assert!(decode_repl_get(Bytes::from_static(&[0; 10])).is_err());
+        // Count says 2 records but the body is empty.
+        let mut bad = BytesMut::new();
+        bad.put_u32_le(0);
+        bad.put_u32_le(1);
+        bad.put_u8(0);
+        bad.put_u64_le(0);
+        bad.put_u32_le(2);
+        assert!(decode_repl_put(bad.freeze()).is_err());
     }
 
     #[test]

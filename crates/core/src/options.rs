@@ -98,6 +98,11 @@ pub struct Options {
     /// Application-supplied hash for key → owner-rank distribution (§2.4
     /// load balancing; §5.2 Meraculous affinity). `None` = built-in hash.
     pub custom_hash: Option<HashFn>,
+    /// Total copies of each key on the ring: the owner plus `replicas - 1`
+    /// successor ranks (DESIGN §11). `1` (the default) is the paper's
+    /// behaviour — no replica traffic, bit-identical to builds before the
+    /// replication subsystem existed. Clamped to the job size at open.
+    pub replicas: usize,
 }
 
 impl std::fmt::Debug for Options {
@@ -112,6 +117,7 @@ impl std::fmt::Debug for Options {
             .field("bin_search", &self.bin_search)
             .field("compaction_trigger", &self.compaction_trigger)
             .field("custom_hash", &self.custom_hash.is_some())
+            .field("replicas", &self.replicas)
             .finish()
     }
 }
@@ -132,6 +138,7 @@ impl Default for Options {
             bloom_filter: true,
             compaction_trigger: 4,
             custom_hash: None,
+            replicas: 1,
         }
     }
 }
@@ -185,6 +192,12 @@ impl Options {
         self.remote_cache = on;
         self
     }
+
+    /// Builder-style: set the replication factor (total copies per key).
+    pub fn with_replicas(mut self, r: usize) -> Self {
+        self.replicas = r;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -203,6 +216,7 @@ mod tests {
         assert!(!o.remote_cache);
         assert!(o.custom_hash.is_none());
         assert_eq!(o.flush_queue_len, 4);
+        assert_eq!(o.replicas, 1);
     }
 
     #[test]
@@ -212,6 +226,7 @@ mod tests {
             .with_memtable_capacity(1 << 30)
             .with_bin_search(false)
             .with_remote_cache(true)
+            .with_replicas(2)
             .with_custom_hash(Arc::new(|_k: &[u8]| 0));
         assert_eq!(o.consistency, Consistency::Sequential);
         assert_eq!(o.memtable_capacity, 1 << 30);
@@ -219,6 +234,7 @@ mod tests {
         assert!(!o.bin_search);
         assert!(o.remote_cache);
         assert!(o.custom_hash.is_some());
+        assert_eq!(o.replicas, 2);
     }
 
     #[test]

@@ -44,6 +44,12 @@ pub struct Platform {
     pub storage: StorageMap,
     /// Number of ranks this platform was built for.
     pub n_ranks: usize,
+    /// Job-wide promotion arbiter for the replication subsystem (DESIGN
+    /// §11): survivors that discover a rank death race to claim primary
+    /// ownership of its ranges here, and the first claim wins. Lives on the
+    /// platform so all ranks of a job share one table while concurrent
+    /// jobs/tests stay isolated.
+    pub repl: papyrus_replica::PromotionTable,
 }
 
 impl Platform {
@@ -51,7 +57,7 @@ impl Platform {
     /// (ranks-per-node for local NVM, everyone for dedicated NVM).
     pub fn new(profile: SystemProfile, n_ranks: usize) -> Arc<Self> {
         let storage = StorageMap::with_default_groups(&profile, n_ranks);
-        Arc::new(Self { profile, storage, n_ranks })
+        Arc::new(Self { profile, storage, n_ranks, repl: papyrus_replica::PromotionTable::new() })
     }
 
     /// Platform with an explicit physical sharing factor (tests).
@@ -61,7 +67,7 @@ impl Platform {
         group_size: usize,
     ) -> Arc<Self> {
         let storage = StorageMap::new(&profile, n_ranks, group_size);
-        Arc::new(Self { profile, storage, n_ranks })
+        Arc::new(Self { profile, storage, n_ranks, repl: papyrus_replica::PromotionTable::new() })
     }
 
     /// Platform for a *new job* sharing the parallel file system of a
@@ -71,7 +77,7 @@ impl Platform {
     pub fn new_job(profile: SystemProfile, n_ranks: usize, pfs_of: &Arc<Platform>) -> Arc<Self> {
         let group = profile.default_group_size(n_ranks);
         let storage = StorageMap::with_pfs(&profile, n_ranks, group, pfs_of.storage.pfs().clone());
-        Arc::new(Self { profile, storage, n_ranks })
+        Arc::new(Self { profile, storage, n_ranks, repl: papyrus_replica::PromotionTable::new() })
     }
 }
 
@@ -217,6 +223,11 @@ pub(crate) enum CompactJob {
 pub(crate) enum MigrateJob {
     /// Migrate an immutable remote MemTable to its owner ranks.
     Migrate { db: Arc<DbInner>, mt: Arc<MemTable>, stamp: SimNs },
+    /// Copy a dead rank's promoted ranges to their new successor ranks so
+    /// the ring returns to `R` copies (DESIGN §11). Queued by the rank that
+    /// won the promotion claim; counted in `migration_inflight` so `fence`
+    /// doubles as the re-replication drain point.
+    Rereplicate { db: Arc<DbInner>, origin: usize, stamp: SimNs },
     /// Terminate the thread (finalize).
     Shutdown,
 }
@@ -619,6 +630,9 @@ fn dispatcher_thread(ctx: Arc<CtxInner>) {
             MigrateJob::Migrate { db, mt, stamp } => {
                 crate::db::run_migration(&ctx, &db, mt, stamp);
             }
+            MigrateJob::Rereplicate { db, origin, stamp } => {
+                crate::db::run_rereplication(&ctx, &db, origin, stamp);
+            }
             MigrateJob::Shutdown => return,
         }
     }
@@ -648,6 +662,16 @@ fn handler_thread(ctx: Arc<CtxInner>) {
             tags::BARRIER_MARK => {
                 if let Err(e) = handle_barrier_mark(&ctx, m.payload, m.stamp) {
                     report_handler_error(&ctx, "barrier_mark", e);
+                }
+            }
+            tags::REPL_PUT => {
+                if let Err(e) = handle_repl_put(&ctx, m.src, m.payload, m.stamp) {
+                    report_handler_error(&ctx, "repl_put", e);
+                }
+            }
+            tags::REPL_GET => {
+                if let Err(e) = handle_repl_get(&ctx, m.src, m.payload, m.stamp) {
+                    report_handler_error(&ctx, "repl_get", e);
                 }
             }
             other => report_handler_error(
@@ -701,5 +725,29 @@ fn handle_barrier_mark(ctx: &CtxInner, payload: bytes::Bytes, stamp: SimNs) -> R
     let (db_id, epoch) = msg::decode_barrier_mark(payload)?;
     let db = ctx.db_by_id(db_id)?;
     crate::db::note_barrier_mark(&db, epoch, stamp);
+    Ok(())
+}
+
+fn handle_repl_put(ctx: &CtxInner, src: usize, payload: bytes::Bytes, stamp: SimNs) -> Result<()> {
+    let (db_id, origin, want_ack, seq, records) = msg::decode_repl_put(payload)?;
+    let db = ctx.db_by_id(db_id)?;
+    let done = crate::db::apply_replica_records(ctx, &db, origin as usize, &records, stamp);
+    // The handler never blocks on other ranks here (replica ingest is
+    // purely local), so synchronous writers awaiting this ack cannot form
+    // a cross-rank handler cycle.
+    if want_ack {
+        ctx.comm_rep.send_at(src, tags::REPL_ACK, msg::encode_ack(seq), done);
+    }
+    Ok(())
+}
+
+fn handle_repl_get(ctx: &CtxInner, src: usize, payload: bytes::Bytes, stamp: SimNs) -> Result<()> {
+    let (db_id, origin, seq, key) = msg::decode_repl_get(payload)?;
+    let db = ctx.db_by_id(db_id)?;
+    // A failover get is proof a reader saw `origin` confirmed dead: if this
+    // rank is origin's first live successor, claim the promotion now.
+    crate::db::maybe_promote(ctx, &db, origin as usize);
+    let (resp, done) = crate::db::serve_replica_get(ctx, &db, origin as usize, &key, stamp);
+    ctx.comm_rep.send_at(src, tags::REPL_RESP, msg::encode_get_resp(seq, &resp), done);
     Ok(())
 }

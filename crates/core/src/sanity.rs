@@ -158,6 +158,71 @@ pub fn audit_db(db: &Db) -> AuditReport {
     audit_memtable("local", &inner.local.read(), &mut report);
     audit_memtable("remote", &inner.remote.lock(), &mut report);
 
+    // Replica stacks (R >= 2): each per-origin table must be internally
+    // well-formed and live in the `rep{origin}-` file namespace so it can
+    // never collide with (or be salvaged into) the primary LSM; a dead
+    // rank's promoted ranges must be claimed by exactly one live primary.
+    {
+        let repl = inner.repl.lock();
+        for (&origin, stack) in repl.iter() {
+            audit_memtable(&format!("replica(r{origin})"), &stack.mem, &mut report);
+            let ssids: Vec<Ssid> = stack.ssts.iter().map(SstReader::ssid).collect();
+            for pair in ssids.windows(2) {
+                if pair[0] >= pair[1] {
+                    report.push(
+                        ViolationKind::ReplicaState,
+                        format!(
+                            "replica(r{origin}) SSTables not in ascending SSID order: {ssids:?}"
+                        ),
+                    );
+                    break;
+                }
+            }
+            let marker = format!("rep{origin:04}-");
+            for reader in &stack.ssts {
+                if reader.ssid() >= stack.next_ssid {
+                    report.push(
+                        ViolationKind::ReplicaState,
+                        format!(
+                            "replica(r{origin}) sst {} at or above its next_ssid {}",
+                            reader.ssid(),
+                            stack.next_ssid
+                        ),
+                    );
+                }
+                if !reader.base().contains(&marker) {
+                    report.push(
+                        ViolationKind::ReplicaState,
+                        format!(
+                            "replica(r{origin}) sst {} stored at {:?} — outside the replica \
+                             namespace, colliding with primary SSTable files",
+                            reader.ssid(),
+                            reader.base()
+                        ),
+                    );
+                }
+                audit_sst(reader, &mut report);
+            }
+        }
+    }
+    for (dead, claimants) in ctx.platform.repl.claims_for(inner.id) {
+        if claimants.len() != 1 {
+            report.push(
+                ViolationKind::ReplicaState,
+                format!(
+                    "dead rank {dead}: promoted ranges have {} claimants {claimants:?} \
+                     (exactly one live primary required)",
+                    claimants.len()
+                ),
+            );
+        } else if ctx.comm_req.rank_known_dead(claimants[0]) {
+            report.push(
+                ViolationKind::ReplicaState,
+                format!("dead rank {dead}: promoted primary r{} is itself dead", claimants[0]),
+            );
+        }
+    }
+
     let (pending_flushes, migration_inflight, stale_marks) = {
         let sync = inner.sync.lock();
         let epoch = inner.barrier_epoch.load(Ordering::SeqCst);
@@ -275,6 +340,35 @@ pub fn dump_visible(db: &Db) -> Vec<(Vec<u8>, Option<bytes::Bytes>)> {
     seen.into_iter().collect()
 }
 
+/// Dump every key the replica stack held for `origin` currently makes
+/// visible, newest writer wins: the replica MemTable shadows the replica
+/// SSTables (newest-first). Tombstoned keys map to `None`; an absent
+/// stack yields an empty list.
+///
+/// Charges no virtual time. Used by the chaos probes to check that
+/// re-replication converged a successor's copy to the promoted data.
+pub fn replica_visible(db: &Db, origin: usize) -> Vec<(Vec<u8>, Option<bytes::Bytes>)> {
+    let (_ctx, inner) = db.sanity_parts();
+    let mut seen: std::collections::BTreeMap<Vec<u8>, Option<bytes::Bytes>> =
+        std::collections::BTreeMap::new();
+    let mut absorb = |key: &[u8], e: &Entry| {
+        seen.entry(key.to_vec()).or_insert_with(|| (!e.tombstone).then(|| e.value.clone()));
+    };
+    let repl = inner.repl.lock();
+    let Some(stack) = repl.get(&(origin as u32)) else { return Vec::new() };
+    for (k, e) in stack.mem.iter() {
+        absorb(k, e);
+    }
+    for reader in stack.ssts.iter().rev() {
+        if let Some(records) = reader.records_uncharged() {
+            for (k, e) in &records {
+                absorb(k, e);
+            }
+        }
+    }
+    seen.into_iter().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -356,6 +450,74 @@ mod tests {
                 .iter()
                 .any(|v| v.kind == ViolationKind::BloomFalseNegative && v.detail.contains("zz")),
             "bloom false negative on zz expected: {}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn seeded_replica_violations_are_detected() {
+        use crate::db::ReplicaStack;
+        use crate::options::{OpenFlags, Options};
+        use crate::runtime::{Context, Platform};
+        use papyrus_mpi::{World, WorldConfig};
+        use papyrus_nvm::SystemProfile;
+
+        let profile = SystemProfile::summitdev();
+        let platform = Platform::new(profile.clone(), 1);
+        let reports = World::run(WorldConfig::new(1, profile.net.clone()), move |rank| {
+            let ctx =
+                Context::init(rank.clone(), platform.clone(), "nvm://sanity-repl").expect("init");
+            let db = ctx.open("db", OpenFlags::create(), Options::default()).expect("open");
+            {
+                let (ctx_inner, inner) = db.sanity_parts();
+                // Seed a replica stack whose one SSTable (a) carries an SSID
+                // at/above the stack's next_ssid, (b) lives outside the
+                // `rep{origin}-` namespace, and (c) holds out-of-order keys.
+                let store = ctx_inner.repo_store();
+                let bad = raw_sst(
+                    &store,
+                    "sanity-repl/db/r0/sst0000000099",
+                    99,
+                    &[b"bb", b"aa"],
+                    &[b"aa", b"bb"],
+                );
+                let mut stack = ReplicaStack::new();
+                stack.ssts.push(bad);
+                inner.repl.lock().insert(2, stack);
+                // Seed a double promotion claim: two ranks both think they
+                // own dead rank 0's ranges.
+                ctx_inner.platform.repl.force_claim(inner.id, 0, 0);
+                ctx_inner.platform.repl.force_claim(inner.id, 0, 1);
+            }
+            let report = audit_db(&db);
+            // Clear the seeded stack so close sees an ordinary database.
+            db.sanity_parts().1.repl.lock().clear();
+            db.close().expect("close");
+            ctx.finalize().expect("finalize");
+            report
+        });
+
+        let report = &reports[0];
+        let replica: Vec<_> =
+            report.violations.iter().filter(|v| v.kind == ViolationKind::ReplicaState).collect();
+        assert!(
+            replica.iter().any(|v| v.detail.contains("next_ssid")),
+            "SSID-above-next violation expected: {}",
+            report.render()
+        );
+        assert!(
+            replica.iter().any(|v| v.detail.contains("namespace")),
+            "namespace-collision violation expected: {}",
+            report.render()
+        );
+        assert!(
+            replica.iter().any(|v| v.detail.contains("claimants")),
+            "double-claim violation expected: {}",
+            report.render()
+        );
+        assert!(
+            report.violations.iter().any(|v| v.kind == ViolationKind::SstOrder),
+            "replica key-order violation expected: {}",
             report.render()
         );
     }

@@ -58,6 +58,16 @@ pub fn sst_base(repo: &str, db: &str, rank: usize, ssid: Ssid) -> String {
     format!("{repo}/{db}/r{rank}/sst{ssid:010}")
 }
 
+/// Base path of a *replica* SSTable held by `rank` for `origin`'s ranges
+/// (DESIGN §11). The `rep<origin>-` prefix keeps replica tables in a
+/// namespace disjoint from primary `sst*` files: salvage, the manifest,
+/// and checkpoint all match on the `sst` prefix and therefore never see
+/// replica data, while `destroy` removes the whole `r<rank>/` directory
+/// and takes replica files with it.
+pub fn repl_sst_base(repo: &str, db: &str, rank: usize, origin: usize, ssid: Ssid) -> String {
+    format!("{repo}/{db}/r{rank}/rep{origin:04}-sst{ssid:010}")
+}
+
 /// Build one SSTable from key-sorted entries, writing its three files with
 /// one sequential submission each starting at `now`.
 ///

@@ -41,6 +41,15 @@ pub(crate) struct CoreTel {
     pub rpc_retries: Counter,
     /// Remote RPC receive deadlines that expired (fault plane on).
     pub rpc_timeouts: Counter,
+    /// Replica batches forwarded to successor ranks (R >= 2).
+    pub repl_forwards: Counter,
+    /// Remote gets served from a replica after the owner was confirmed dead.
+    pub repl_failovers: Counter,
+    /// Promotion claims won: this rank became primary for a dead rank's
+    /// ranges.
+    pub repl_promotions: Counter,
+    /// Bytes copied to new successors by background re-replication.
+    pub repl_rereplicated_bytes: Counter,
     pub put_ns: Histogram,
     pub get_local_ns: Histogram,
     pub get_remote_ns: Histogram,
@@ -51,6 +60,9 @@ pub(crate) struct CoreTel {
     pub barrier_wait_ns: Histogram,
     /// Virtual backoff delay charged before each RPC retry.
     pub backoff_ns: Histogram,
+    /// Ack-to-replica-durable lag: virtual time from a replica batch's
+    /// dispatch stamp to its ingest-complete (ack) stamp on the successor.
+    pub repl_lag_ns: Histogram,
     pub rec: SpanRecorder,
 }
 
@@ -76,6 +88,10 @@ impl CoreTel {
             bloom_pass: reg.counter(pid, "kv.bloom.pass"),
             rpc_retries: reg.counter(pid, "rpc_retries"),
             rpc_timeouts: reg.counter(pid, "rpc_timeouts"),
+            repl_forwards: reg.counter(pid, "repl.forwards"),
+            repl_failovers: reg.counter(pid, "repl.failovers"),
+            repl_promotions: reg.counter(pid, "repl.promotions"),
+            repl_rereplicated_bytes: reg.counter(pid, "repl.rereplicated.bytes"),
             put_ns: reg.histogram(pid, "kv.put.ns"),
             get_local_ns: reg.histogram(pid, "kv.get.local.ns"),
             get_remote_ns: reg.histogram(pid, "kv.get.remote.ns"),
@@ -85,6 +101,7 @@ impl CoreTel {
             fence_wait_ns: reg.histogram(pid, "kv.fence.wait.ns"),
             barrier_wait_ns: reg.histogram(pid, "kv.barrier.wait.ns"),
             backoff_ns: reg.histogram(pid, "rpc.backoff.ns"),
+            repl_lag_ns: reg.histogram(pid, "repl.lag.ns"),
             rec: reg.recorder_for_rank(rank),
         }
     }

@@ -346,7 +346,12 @@ fn recover_nvm(
         .collect();
     let pfs = NvmStore::with_backend(profile.pfs.clone(), backend_of(state, PFS_NS));
     let storage = StorageMap::from_parts(groups, 1, pfs);
-    let platform = Arc::new(Platform { profile, storage, n_ranks: n });
+    let platform = Arc::new(Platform {
+        profile,
+        storage,
+        n_ranks: n,
+        repl: papyrus_replica::PromotionTable::new(),
+    });
     let probe_keys = probe_keys.clone();
     World::run(WorldConfig::for_tests(n), move |rank| {
         let ctx =
@@ -384,7 +389,12 @@ fn restore_snapshot(
     let pfs = NvmStore::with_backend(profile.pfs.clone(), backend_of(state, PFS_NS));
     // Fresh NVM scratch: a new job restoring an old snapshot.
     let storage = StorageMap::with_pfs(&profile, m, 1, pfs);
-    let platform = Arc::new(Platform { profile, storage, n_ranks: m });
+    let platform = Arc::new(Platform {
+        profile,
+        storage,
+        n_ranks: m,
+        repl: papyrus_replica::PromotionTable::new(),
+    });
     let probe_keys = probe_keys.clone();
     let path = path.to_string();
     World::run(WorldConfig::for_tests(m), move |rank| {

@@ -383,6 +383,28 @@ impl Communicator {
         Communicator::new(self.fabric.clone(), id, record, my_index)
     }
 
+    /// Whether the failure detector has already confirmed `dst` (a rank of
+    /// this communicator) dead. Sticky-verdict lookup only: no probe round,
+    /// no virtual-time charge — suitable for hot paths that must stay free
+    /// when no death has been detected (replica ring walks, promotion
+    /// checks).
+    pub fn rank_known_dead(&self, dst: Rank) -> bool {
+        self.fabric.rank_known_dead(self.record.members[dst])
+    }
+
+    /// Members of this communicator already confirmed dead by the failure
+    /// detector, as comm ranks. Sticky verdicts only — ranks whose death
+    /// has not yet been discovered by anyone are not listed.
+    pub fn known_dead_ranks(&self) -> Vec<Rank> {
+        self.record
+            .members
+            .iter()
+            .enumerate()
+            .filter(|&(_, &wr)| self.fabric.rank_known_dead(wr))
+            .map(|(cr, _)| cr)
+            .collect()
+    }
+
     /// The fabric this communicator lives on (for diagnostics/tests).
     pub fn fabric(&self) -> &Arc<Fabric> {
         &self.fabric

@@ -179,6 +179,10 @@ pub enum ViolationKind {
     /// A chaos schedule exceeded the watchdog deadline: some rank hung
     /// instead of timing out with a typed error.
     ChaosHang,
+    /// Replication state broken: replica tables out of key order, replica
+    /// SSIDs colliding with primary SSIDs, or a dead rank's promoted
+    /// ranges claimed by zero or multiple live primaries.
+    ReplicaState,
 }
 
 impl ViolationKind {
@@ -206,6 +210,7 @@ impl ViolationKind {
             ViolationKind::PhantomRead => "phantom-read",
             ViolationKind::UntypedError => "untyped-error",
             ViolationKind::ChaosHang => "chaos-hang",
+            ViolationKind::ReplicaState => "replica-state",
         }
     }
 }

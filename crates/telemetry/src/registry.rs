@@ -236,7 +236,13 @@ pub struct TelemetrySnapshot {
 impl TelemetrySnapshot {
     /// Chrome Trace Event JSON (open in chrome://tracing or Perfetto).
     pub fn to_chrome_trace(&self) -> String {
-        spans::to_chrome_trace(&self.events, &self.pid_names, &self.tid_names, self.dropped_events)
+        spans::to_chrome_trace(
+            &self.events,
+            &self.pid_names,
+            &self.tid_names,
+            &self.counters,
+            self.dropped_events,
+        )
     }
 
     /// Write the Chrome trace to `path`.

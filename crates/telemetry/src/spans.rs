@@ -179,10 +179,15 @@ impl SpanRecorder {
 /// JSON string. `pids` maps trace pid → display name; `tids` maps
 /// `(pid, tid)` → thread display name. Events must already be sorted by
 /// `(pid, ts)`; timestamps are converted from virtual ns to trace µs.
+///
+/// Non-zero `counters` (`(pid, name, value)`) become `ph:"C"` counter
+/// tracks: a zero sample at t=0 and the final value at the trace end, so
+/// viewers render a step instead of an invisible point sample.
 pub fn to_chrome_trace(
     events: &[SpanEvent],
     pids: &[(u32, String)],
     tids: &[(u32, u32, String)],
+    counters: &[(u32, String, u64)],
     dropped_total: u64,
 ) -> String {
     let mut out = String::with_capacity(events.len() * 96 + 1024);
@@ -193,6 +198,27 @@ pub fn to_chrome_trace(
     }
     for (pid, tid, name) in tids {
         push_meta(&mut out, &mut first, "thread_name", *pid, Some(*tid), name);
+    }
+    let end_ts_us = events
+        .iter()
+        .map(|ev| match ev.kind {
+            EventKind::Complete { dur } => ev.ts + dur,
+            EventKind::Instant => ev.ts,
+        })
+        .max()
+        .unwrap_or(0) as f64
+        / 1_000.0;
+    for (pid, name, value) in counters.iter().filter(|(_, _, v)| *v != 0) {
+        for (ts, v) in [(0.0, 0u64), (end_ts_us, *value)] {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"name\":{},\"ph\":\"C\",\"ts\":{ts},\"pid\":{pid},\"args\":{{\"value\":{v}}}}}",
+                json_str(name)
+            ));
+        }
     }
     for ev in events {
         if !first {
@@ -311,5 +337,19 @@ mod tests {
     #[test]
     fn json_escaping() {
         assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn counters_become_counter_tracks() {
+        let rec = SpanRecorder::new(0);
+        rec.span("core", "flush", 1, 1_000, 3_000);
+        let counters = vec![(0u32, "repl.forwards".to_string(), 7u64), (0, "zero".to_string(), 0)];
+        let trace = to_chrome_trace(&rec.snapshot(), &[], &[], &counters, 0);
+        // Two samples: a zero at t=0 and the final value at the trace end.
+        assert_eq!(trace.matches("\"ph\":\"C\"").count(), 2);
+        assert!(trace.contains("\"name\":\"repl.forwards\""));
+        assert!(trace.contains("{\"value\":7}"));
+        // Zero-valued counters are omitted entirely.
+        assert!(!trace.contains("\"name\":\"zero\""));
     }
 }

@@ -11,4 +11,10 @@ $B/fig9_workload --ranks 2,4,8,16 --iters 24     > results/fig9.txt 2>&1
 $B/fig10_cr --ranks 2,4,8,16 --iters 20          > results/fig10.txt 2>&1
 $B/fig11_mdhim --ranks 2,4,8,16,32 --iters 30    > results/fig11.txt 2>&1
 $B/fig13_meraculous --ranks 4,8,16,32            > results/fig13.txt 2>&1
+{ echo "# Replication overhead: R=1 vs R=2 (fig6_basic / fig7_consistency --replicas 2)"
+  echo "=== fig6_basic (R=1, default) ===";        $B/fig6_basic
+  echo; echo "=== fig6_basic --replicas 2 ===";    $B/fig6_basic --replicas 2
+  echo; echo "=== fig7_consistency (R=1, default) ==="; $B/fig7_consistency
+  echo; echo "=== fig7_consistency --replicas 2 ==="; $B/fig7_consistency --replicas 2
+} > results/replica.txt 2>&1
 echo ALL_FIGURES_DONE

@@ -1,6 +1,6 @@
 # Convenience targets mirroring what CI runs.
 
-.PHONY: build test fmt clippy lint sanity crashcheck chaos verify trace clean
+.PHONY: build test fmt clippy lint sanity crashcheck chaos perfline verify trace clean
 
 build:
 	cargo build --release --workspace
@@ -42,8 +42,16 @@ chaos:
 	cargo xtask chaos --replicas 2
 	cargo xtask chaos --seed-bug all
 
+# Perf-trajectory gate: run the YCSB-style suite, write BENCH_<sha>.json,
+# and fail on >10% p99/throughput regressions vs the committed baseline;
+# then prove the gate catches two planted regressions (seed-bug self-test).
+# Refresh the baseline with: cargo xtask perfline --out BENCH_baseline.json
+perfline:
+	cargo xtask perfline --check BENCH_baseline.json
+	cargo xtask perfline --seed-bug all
+
 # The tier-1 gate: everything CI requires to pass, in one command.
-verify: build test fmt clippy lint crashcheck chaos
+verify: build test fmt clippy lint crashcheck chaos perfline
 	@echo "verify: OK"
 
 # Quick observability smoke: writes trace.json (chrome://tracing / Perfetto).

@@ -94,6 +94,9 @@ fn main() {
             "ranks", "ckpt-s", "ckpt-MBPS", "rst-s", "rst-MBPS", "rd-s", "rd-MBPS"
         );
         for &n in &sweep {
+            // With --telemetry, each begin resets the registry so the
+            // written trace covers the final configuration only.
+            args.telemetry_begin();
             let r = run_config(&profile, n, iters, vallen, args.seed);
             let mbps = |ns: u64| papyrus_simtime::mbps(r.bytes, ns);
             println!(
@@ -108,4 +111,5 @@ fn main() {
             );
         }
     }
+    args.telemetry_end();
 }

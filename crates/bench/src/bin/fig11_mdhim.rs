@@ -121,10 +121,15 @@ fn main() {
             "ranks", "PKV-N-KRPS", "PKV-L-KRPS", "MDH-N-KRPS", "MDH-L-KRPS"
         );
         for &n in &sweep {
+            // With --telemetry, each begin resets the registry so the
+            // written trace covers a single run — the last one (PKV on
+            // Lustre; the MDHIM baseline records only fabric/NVM metrics).
+            args.telemetry_begin();
             let pkv_n = run_pkv(&profile, n, iters, vallen, false, args.seed);
-            let pkv_l = run_pkv(&profile, n, iters, vallen, true, args.seed);
             let mdh_n = run_mdhim(&profile, n, iters, vallen, false, args.seed);
             let mdh_l = run_mdhim(&profile, n, iters, vallen, true, args.seed);
+            args.telemetry_begin();
+            let pkv_l = run_pkv(&profile, n, iters, vallen, true, args.seed);
             println!(
                 "{:>6} {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
                 n,
@@ -135,4 +140,5 @@ fn main() {
             );
         }
     }
+    args.telemetry_end();
 }

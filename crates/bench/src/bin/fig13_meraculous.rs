@@ -110,8 +110,13 @@ fn main() {
     println!("{:>8} {:>10} {:>10} {:>10}", "threads", "PKV-s", "UPC-s", "PKV/UPC");
     let mut verified = true;
     for &n in &sweep {
-        let pkv = run_pkv(&profile, n, dataset.clone(), k);
+        // With --telemetry, each begin resets the registry so the written
+        // trace covers the final PKV run only (the UPC baseline runs
+        // first: it bypasses the KV engine, and its fabric events would
+        // otherwise overlay the PKV timeline).
         let upc = run_upc(&profile, n, dataset.clone(), k);
+        args.telemetry_begin();
+        let pkv = run_pkv(&profile, n, dataset.clone(), k);
         println!(
             "{:>8} {:>10.3} {:>10.3} {:>10.2}",
             n,
@@ -140,4 +145,5 @@ fn main() {
     if verified {
         println!("# all contig sets verified identical across backends (check_results.sh OK)");
     }
+    args.telemetry_end();
 }

@@ -71,6 +71,11 @@ fn main() {
             "ranks", "Rel-MBPS", "Seq-MBPS", "Rel+B-MBPS", "Seq+B-MBPS"
         );
         for &n in &sweep {
+            // With --telemetry, each begin resets the registry so the
+            // written trace covers the final (sequential) configuration
+            // only — virtual clocks restart at 0 every World::run, so
+            // merging runs would overlay their timelines.
+            args.telemetry_begin();
             let (rel, rel_b) = run_config(
                 &profile,
                 n,
@@ -80,6 +85,7 @@ fn main() {
                 args.seed,
                 args.replicas,
             );
+            args.telemetry_begin();
             let (seq, seq_b) = run_config(
                 &profile,
                 n,
@@ -99,4 +105,5 @@ fn main() {
             );
         }
     }
+    args.telemetry_end();
 }

@@ -6,22 +6,26 @@
 //! 50/50, 95/5, and 100/0. The `100/0+P` configuration additionally sets
 //! `PAPYRUSKV_RDONLY` protection during the read phase, enabling the remote
 //! cache (§3.2).
+//!
+//! The read/update mixes are expressed through the shared YCSB-style
+//! vocabulary in [`papyrus_bench::workload`] (the same generators drive
+//! the `papyrus-perfline` trajectory suite).
 
+use papyrus_bench::workload::{fig9_mix, Mix, Op};
 use papyrus_bench::{print_header, random_keys, value_of, BenchArgs, PhaseResult, RankPhase};
 use papyrus_mpi::{World, WorldConfig};
 use papyrus_nvm::SystemProfile;
 use papyruskv::{Consistency, Context, OpenFlags, Options, Platform, Protection};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
 /// Run init + read/update phases; returns the read/update phase aggregate.
-/// `update_pct` = percentage of operations that are puts (0-100).
 fn run_config(
     profile: &SystemProfile,
     ranks: usize,
     iters: usize,
     vallen: usize,
-    update_pct: usize,
+    mix: Mix,
     protect_readonly: bool,
     seed: u64,
 ) -> PhaseResult {
@@ -47,11 +51,12 @@ fn run_config(
         let t0 = ctx.now();
         let mut bytes = 0u64;
         for k in &keys {
-            if rng.gen_range(0..100) < update_pct {
-                db.put(k, &value).unwrap();
-                bytes += (16 + vallen) as u64;
-            } else {
-                bytes += db.get(k).unwrap().len() as u64 + 16;
+            match mix.next_op(&mut rng) {
+                Op::Update => {
+                    db.put(k, &value).unwrap();
+                    bytes += (16 + vallen) as u64;
+                }
+                _ => bytes += db.get(k).unwrap().len() as u64 + 16,
             }
         }
         let t1 = ctx.now();
@@ -72,6 +77,9 @@ fn main() {
         "read/update workload mixes (P = PAPYRUSKV_RDONLY protection enabling the remote cache)",
     );
 
+    let m5050 = fig9_mix("50/50", 50);
+    let m955 = fig9_mix("95/5", 5);
+    let m1000 = fig9_mix("100/0", 0);
     let vallen = 128 << 10;
     for profile in SystemProfile::all_eval_systems() {
         let rpn = profile.ranks_per_node;
@@ -80,18 +88,25 @@ fn main() {
         println!("\n## {} ({} iters/rank, 16B keys, 128KB values)", profile.name, iters);
         println!("{:>6} {:>12} {:>12} {:>12} {:>12}", "ranks", "50/50", "95/5", "100/0", "100/0+P");
         for &n in &sweep {
-            let m5050 = run_config(&profile, n, iters, vallen, 50, false, args.seed);
-            let m955 = run_config(&profile, n, iters, vallen, 5, false, args.seed);
-            let m1000 = run_config(&profile, n, iters, vallen, 0, false, args.seed);
-            let m1000p = run_config(&profile, n, iters, vallen, 0, true, args.seed);
+            // With --telemetry, each begin resets the registry so the
+            // written trace covers the final configuration only.
+            let run = |mix: Mix, protect: bool| {
+                args.telemetry_begin();
+                run_config(&profile, n, iters, vallen, mix, protect, args.seed)
+            };
+            let r5050 = run(m5050, false);
+            let r955 = run(m955, false);
+            let r1000 = run(m1000, false);
+            let r1000p = run(m1000, true);
             println!(
                 "{:>6} {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
                 n,
-                m5050.mbps(),
-                m955.mbps(),
-                m1000.mbps(),
-                m1000p.mbps()
+                r5050.mbps(),
+                r955.mbps(),
+                r1000.mbps(),
+                r1000p.mbps()
             );
         }
     }
+    args.telemetry_end();
 }

@@ -21,6 +21,8 @@
 //! `--full` for paper-scale parameters and prints scaled-down defaults
 //! otherwise; see `EXPERIMENTS.md` for recorded outputs.
 
+pub mod workload;
+
 use papyrus_simtime::SimNs;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

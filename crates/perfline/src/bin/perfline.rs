@@ -1,0 +1,312 @@
+//! `perfline` — run the YCSB-style perf-trajectory suite, write the
+//! `BENCH_<git-sha>.json` snapshot, and/or gate against a committed
+//! baseline.
+//!
+//! ```text
+//! perfline                         # full suite -> BENCH_<sha>.json
+//! perfline --check BENCH_baseline.json
+//! perfline --quick --no-out        # fast smoke run, nothing written
+//! perfline --seed-bug all          # gate self-test (planted regressions)
+//! ```
+//!
+//! Exit status: non-zero when `--check` finds regressions, when the
+//! self-test's planted bug goes undetected, or on bad arguments.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use papyrus_perfline::{git_short_sha, run_suite, SeedBug, SuiteCfg};
+use papyrus_telemetry::{compare, PerfSnapshot};
+
+/// Default regression tolerance (percent) for `--check`.
+const DEFAULT_TOLERANCE_PCT: f64 = 10.0;
+/// Default absolute p99 growth (ns) below which a percentage regression is
+/// ignored — one log-linear bucket step is 6.25%, so tiny latencies need
+/// an absolute floor to stay out of the noise.
+const DEFAULT_P99_FLOOR_NS: u64 = 10_000;
+
+struct Args {
+    out: Option<PathBuf>,
+    no_out: bool,
+    check: Option<PathBuf>,
+    quick: bool,
+    seed_bug: Option<String>,
+    tolerance: f64,
+    p99_floor: u64,
+    ranks: Option<Vec<usize>>,
+    keys: Option<usize>,
+    ops: Option<usize>,
+    vallen: Option<usize>,
+    replicas: Option<usize>,
+    seed: Option<u64>,
+    repeats: Option<usize>,
+    label: Option<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: perfline [--out PATH | --no-out] [--check BASELINE.json] [--quick]\n\
+     \t[--ranks a,b,c] [--keys N] [--ops N] [--vallen N] [--replicas R] [--seed S]\n\
+     \t[--repeats N] [--tolerance PCT] [--p99-floor NS] [--label STR]\n\
+     \t[--seed-bug scan-p99|throughput|all]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut a = Args {
+        out: None,
+        no_out: false,
+        check: None,
+        quick: false,
+        seed_bug: None,
+        tolerance: DEFAULT_TOLERANCE_PCT,
+        p99_floor: DEFAULT_P99_FLOOR_NS,
+        ranks: None,
+        keys: None,
+        ops: None,
+        vallen: None,
+        replicas: None,
+        seed: None,
+        repeats: None,
+        label: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut val = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--out" => a.out = Some(PathBuf::from(val("--out")?)),
+            "--no-out" => a.no_out = true,
+            "--check" => a.check = Some(PathBuf::from(val("--check")?)),
+            "--quick" => a.quick = true,
+            "--seed-bug" => a.seed_bug = Some(val("--seed-bug")?),
+            "--tolerance" => {
+                a.tolerance =
+                    val("--tolerance")?.parse().map_err(|e| format!("--tolerance: {e}"))?
+            }
+            "--p99-floor" => {
+                a.p99_floor =
+                    val("--p99-floor")?.parse().map_err(|e| format!("--p99-floor: {e}"))?
+            }
+            "--ranks" => {
+                let v = val("--ranks")?;
+                let parsed: Result<Vec<usize>, _> =
+                    v.split(',').map(|x| x.trim().parse()).collect();
+                a.ranks = Some(parsed.map_err(|e| format!("--ranks: {e}"))?);
+            }
+            "--keys" => a.keys = Some(val("--keys")?.parse().map_err(|e| format!("--keys: {e}"))?),
+            "--ops" => a.ops = Some(val("--ops")?.parse().map_err(|e| format!("--ops: {e}"))?),
+            "--vallen" => {
+                a.vallen = Some(val("--vallen")?.parse().map_err(|e| format!("--vallen: {e}"))?)
+            }
+            "--replicas" => {
+                a.replicas =
+                    Some(val("--replicas")?.parse().map_err(|e| format!("--replicas: {e}"))?)
+            }
+            "--seed" => a.seed = Some(val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?),
+            "--repeats" => {
+                a.repeats = Some(val("--repeats")?.parse().map_err(|e| format!("--repeats: {e}"))?)
+            }
+            "--label" => a.label = Some(val("--label")?),
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown argument {other}\n{}", usage())),
+        }
+    }
+    Ok(a)
+}
+
+/// Workspace root, compiled in: `crates/perfline` is two levels down.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."))
+}
+
+fn build_cfg(a: &Args) -> SuiteCfg {
+    let mut cfg = if a.quick { SuiteCfg::quick() } else { SuiteCfg::default_suite() };
+    if let Some(r) = &a.ranks {
+        cfg.ranks = r.clone();
+    }
+    if let Some(k) = a.keys {
+        cfg.keys_per_rank = k;
+    }
+    if let Some(o) = a.ops {
+        cfg.ops_per_rank = o;
+    }
+    if let Some(v) = a.vallen {
+        cfg.vallen = v;
+    }
+    if let Some(r) = a.replicas {
+        cfg.replicas = r;
+    }
+    if let Some(s) = a.seed {
+        cfg.seed = s;
+    }
+    if let Some(n) = a.repeats {
+        cfg.repeats = n.max(1);
+    }
+    let name = if a.quick { "quick suite" } else { "default suite" };
+    cfg.label = a.label.clone().unwrap_or_else(|| cfg.describe(name));
+    cfg
+}
+
+fn print_summary(snap: &PerfSnapshot) {
+    println!(
+        "{:<22} {:>10} {:>12} {:>10} {:>10} {:>10} {:>7} {:>7}",
+        "workload", "qps", "elapsed-ms", "put-p99", "get-p99", "scan-p99", "flush", "compact"
+    );
+    let us = |l: &Option<papyrus_telemetry::LatencySummary>| match l {
+        Some(s) => format!("{:.1}us", s.p99_ns as f64 / 1e3),
+        None => "-".to_string(),
+    };
+    for w in &snap.workloads {
+        println!(
+            "{:<22} {:>10.0} {:>12.2} {:>10} {:>10} {:>10} {:>7} {:>7}",
+            w.id,
+            w.qps,
+            w.elapsed_ns as f64 / 1e6,
+            us(&w.put),
+            us(&w.get),
+            us(&w.scan),
+            w.flushes,
+            w.compactions,
+        );
+    }
+}
+
+fn check(current: &PerfSnapshot, baseline_path: &Path, tol: f64, floor: u64) -> bool {
+    let baseline = match PerfSnapshot::read_json(&baseline_path.to_string_lossy()) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("perfline: cannot read baseline {}: {e}", baseline_path.display());
+            return false;
+        }
+    };
+    let regressions = compare(current, &baseline, tol, floor);
+    if regressions.is_empty() {
+        println!(
+            "# gate PASS: no regression beyond {tol}% vs {} (git {})",
+            baseline_path.display(),
+            baseline.git_sha
+        );
+        true
+    } else {
+        println!(
+            "# gate FAIL: {} regression(s) beyond {tol}% vs {} (git {}):",
+            regressions.len(),
+            baseline_path.display(),
+            baseline.git_sha
+        );
+        for r in &regressions {
+            println!("#   {}", r.render());
+        }
+        false
+    }
+}
+
+/// `--seed-bug` self-test: the gate must stay quiet between two clean runs
+/// and must fire on each planted regression.
+fn self_test(which: &str, tol: f64, floor: u64) -> bool {
+    let mut cfg = SuiteCfg::quick();
+    cfg.label = cfg.describe("seed-bug self-test");
+    println!("# self-test: clean reference run ({} cells)...", suite_cells(&cfg));
+    let reference = run_suite(&cfg);
+    println!("# self-test: clean repeat run (noise check)...");
+    let repeat = run_suite(&cfg);
+    let noise = compare(&repeat, &reference, tol, floor);
+    let mut ok = true;
+    if noise.is_empty() {
+        println!("# self-test PASS: clean rerun shows no regression beyond {tol}%");
+    } else {
+        ok = false;
+        println!("# self-test FAIL: clean rerun tripped the gate (noise beyond {tol}%):");
+        for r in &noise {
+            println!("#   {}", r.render());
+        }
+    }
+
+    let bugs: Vec<(SeedBug, &str)> = match which {
+        "all" => vec![(SeedBug::ScanP99, "scan.p99"), (SeedBug::Throughput, "qps")],
+        s => match SeedBug::parse(s) {
+            Some(b @ SeedBug::ScanP99) => vec![(b, "scan.p99")],
+            Some(b @ SeedBug::Throughput) => vec![(b, "qps")],
+            None => {
+                eprintln!("perfline: unknown seed bug {s} (scan-p99|throughput|all)");
+                return false;
+            }
+        },
+    };
+    for (bug, expect) in bugs {
+        println!("# self-test: planted {bug:?} run...");
+        cfg.seed_bug = Some(bug);
+        let bugged = run_suite(&cfg);
+        cfg.seed_bug = None;
+        let regs = compare(&bugged, &reference, tol, floor);
+        let hit = regs.iter().any(|r| r.metric.contains(expect));
+        if hit {
+            println!(
+                "# self-test PASS: {bug:?} detected ({} regression(s), e.g. {})",
+                regs.len(),
+                regs.iter().find(|r| r.metric.contains(expect)).unwrap().render()
+            );
+        } else {
+            ok = false;
+            println!(
+                "# self-test FAIL: {bug:?} not detected (expected a `{expect}` regression; got {})",
+                regs.len()
+            );
+            for r in &regs {
+                println!("#   {}", r.render());
+            }
+        }
+    }
+    ok
+}
+
+fn suite_cells(cfg: &SuiteCfg) -> usize {
+    cfg.ranks.len() * cfg.skews.len() * cfg.mixes.len()
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(which) = &args.seed_bug {
+        return if self_test(which, args.tolerance, args.p99_floor) {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    let cfg = build_cfg(&args);
+    let root = workspace_root();
+    let sha = git_short_sha(&root);
+    println!("# perfline: {} ({} cells, git {sha})", cfg.label, suite_cells(&cfg));
+    let mut snap = run_suite(&cfg);
+    snap.git_sha = sha.clone();
+    print_summary(&snap);
+
+    let mut ok = true;
+    if let Some(baseline) = &args.check {
+        ok = check(&snap, baseline, args.tolerance, args.p99_floor);
+    }
+    if !args.no_out {
+        let out = args.out.clone().unwrap_or_else(|| root.join(format!("BENCH_{sha}.json")));
+        match snap.write_json(&out.to_string_lossy()) {
+            Ok(()) => println!("# snapshot written to {}", out.display()),
+            Err(e) => {
+                eprintln!("perfline: failed to write {}: {e}", out.display());
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

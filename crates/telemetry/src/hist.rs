@@ -105,6 +105,29 @@ impl Histogram {
         }
     }
 
+    /// Accumulate another histogram's current contents into this one
+    /// (bucket-wise adds). Merging is an explicit aggregation step — e.g.
+    /// folding per-rank histograms into a job-wide one for the perf
+    /// snapshot — so it applies even while recording is disabled.
+    pub fn merge(&self, other: &Histogram) {
+        self.merge_data(&other.snapshot());
+    }
+
+    /// Accumulate an owned snapshot into this histogram (see [`merge`]).
+    ///
+    /// [`merge`]: Histogram::merge
+    pub fn merge_data(&self, other: &HistogramData) {
+        let h = &*self.inner;
+        for (b, &v) in h.buckets.iter().zip(&other.buckets) {
+            if v != 0 {
+                b.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        h.count.fetch_add(other.count, Ordering::Relaxed);
+        h.sum.fetch_add(other.sum, Ordering::Relaxed);
+        h.max.fetch_max(other.max, Ordering::Relaxed);
+    }
+
     /// Zero all state.
     pub fn reset(&self) {
         let h = &*self.inner;
@@ -229,6 +252,90 @@ mod tests {
         assert_eq!(bucket_index(0), 0);
         assert_eq!(bucket_index(15), 15);
         assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    /// Deterministic pseudo-random value stream (splitmix64) so the merge
+    /// tests cover the full log-linear range without a rand dependency.
+    fn stream(seed: u64, n: usize) -> impl Iterator<Item = u64> {
+        let mut s = seed;
+        (0..n).map(move |_| {
+            s = s.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z = z ^ (z >> 31);
+            // Spread across ~6 decades: 1ns .. ~4ms.
+            1 + (z % (1 << (10 + (z >> 60) % 12)))
+        })
+    }
+
+    #[test]
+    fn merged_quantiles_equal_single_stream_recording() {
+        // Record 4 disjoint per-rank streams into 4 histograms and the
+        // union into one reference histogram: merging the four must yield
+        // bit-identical buckets, hence *exactly* equal quantiles — the
+        // bucketing is deterministic, so cross-rank aggregation loses
+        // nothing beyond the bucket width already paid at record time.
+        let reference = Histogram::new();
+        let merged = Histogram::new();
+        let parts: Vec<Histogram> = (0..4).map(|_| Histogram::new()).collect();
+        for (rank, part) in parts.iter().enumerate() {
+            for v in stream(0xC0FFEE + rank as u64, 10_000) {
+                part.record(v);
+                reference.record(v);
+            }
+        }
+        for part in &parts {
+            merged.merge(part);
+        }
+        let (m, r) = (merged.snapshot(), reference.snapshot());
+        assert_eq!(m, r, "merge must be exactly bucket-wise");
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            assert_eq!(m.quantile(q), r.quantile(q), "q={q}");
+        }
+        assert_eq!(m.count, 40_000);
+        assert!((m.mean() - r.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_quantile_error_stays_within_bucket_bound() {
+        // Merged percentiles must stay within the 6.25% bucket bound of the
+        // true (sorted-stream) percentiles: merging adds no extra error.
+        let mut all: Vec<u64> = Vec::new();
+        let merged = Histogram::new();
+        for rank in 0..3 {
+            let h = Histogram::new();
+            for v in stream(42 + rank, 20_000) {
+                h.record(v);
+                all.push(v);
+            }
+            merged.merge(&h);
+        }
+        all.sort_unstable();
+        let m = merged.snapshot();
+        for q in [0.5, 0.95, 0.99] {
+            let exact = all[((q * all.len() as f64).ceil() as usize - 1).min(all.len() - 1)];
+            let got = m.quantile(q);
+            let err = (got as f64 - exact as f64).abs() / exact as f64;
+            assert!(err <= 0.0625, "q={q} exact={exact} got={got} err={err}");
+        }
+    }
+
+    #[test]
+    fn merge_data_accumulates_and_respects_disabled_recording() {
+        let src = Histogram::new();
+        for v in [5u64, 500, 50_000] {
+            src.record(v);
+        }
+        // A disabled histogram still accepts merges (aggregation is explicit).
+        let dst = Histogram::with_flag(Arc::new(AtomicBool::new(false)));
+        dst.record(7); // dropped: recording is off
+        dst.merge_data(&src.snapshot());
+        dst.merge(&src);
+        let d = dst.snapshot();
+        assert_eq!(d.count, 6);
+        assert_eq!(d.sum, 2 * (5 + 500 + 50_000));
+        assert_eq!(d.max, 50_000);
     }
 
     #[test]

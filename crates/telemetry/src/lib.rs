@@ -14,6 +14,10 @@
 //! 3. **A near-zero disabled path** — every handle checks one shared
 //!    relaxed `AtomicBool` and returns; no locks, no allocation. The whole
 //!    subsystem defaults to off and is flipped with [`enable`].
+//! 4. **Perf snapshots** ([`perf`]) — schema-versioned `BENCH_*.json`
+//!    documents summarising a workload suite (per-workload QPS and merged
+//!    cross-rank latency percentiles) plus the [`compare`] regression gate
+//!    that `cargo xtask perfline --check` runs against a committed baseline.
 //!
 //! Timeline ("pid") conventions: MPI rank `r` is pid `r`; each NVM store
 //! gets its own pid at [`NVM_PID_BASE`]` + store_id`. Within a rank, tids
@@ -36,12 +40,18 @@
 //! ```
 
 mod hist;
+pub mod json;
 mod metrics;
+pub mod perf;
 mod registry;
 mod spans;
 
 pub use hist::{Histogram, HistogramData};
 pub use metrics::{Counter, Gauge};
+pub use perf::{
+    compare, LatencySummary, PerfSnapshot, Regression, WorkloadPerf, PERF_SCHEMA_KIND,
+    PERF_SCHEMA_VERSION,
+};
 pub use registry::{
     fmt_ns, Registry, TelemetrySnapshot, NVM_PID_BASE, TID_APP, TID_COMPACT, TID_DISPATCH,
     TID_HANDLER,

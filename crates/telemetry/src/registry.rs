@@ -234,6 +234,27 @@ pub struct TelemetrySnapshot {
 }
 
 impl TelemetrySnapshot {
+    /// Cross-rank aggregation: bucket-wise merge of every pid's histogram
+    /// named `name` into one job-wide [`HistogramData`]. Empty if no pid
+    /// recorded under that name. This is the percentile source for the
+    /// perf snapshot exporter — per-rank log-linear histograms merge
+    /// exactly (same bucket layout), so job-wide p50/p95/p99 carry no
+    /// error beyond the bucket width already paid at record time.
+    pub fn merged_histogram(&self, name: &str) -> HistogramData {
+        let mut out = HistogramData::empty();
+        for (_, n, h) in &self.histograms {
+            if n == name {
+                out.merge(h);
+            }
+        }
+        out
+    }
+
+    /// Cross-rank aggregation: sum of every pid's counter named `name`.
+    pub fn counter_sum(&self, name: &str) -> u64 {
+        self.counters.iter().filter(|(_, n, _)| n == name).map(|(_, _, v)| v).sum()
+    }
+
     /// Chrome Trace Event JSON (open in chrome://tracing or Perfetto).
     pub fn to_chrome_trace(&self) -> String {
         spans::to_chrome_trace(

@@ -17,4 +17,8 @@ $B/fig13_meraculous --ranks 4,8,16,32            > results/fig13.txt 2>&1
   echo; echo "=== fig7_consistency (R=1, default) ==="; $B/fig7_consistency
   echo; echo "=== fig7_consistency --replicas 2 ==="; $B/fig7_consistency --replicas 2
 } > results/replica.txt 2>&1
+# Perf-trajectory snapshot: the YCSB-style suite's table goes with the
+# figures, and the JSON snapshot (BENCH_<sha>.json at the repo root) is
+# the artifact the CI regression gate compares against BENCH_baseline.json.
+$B/perfline                                      > results/perfline.txt 2>&1
 echo ALL_FIGURES_DONE

@@ -4,6 +4,7 @@
 //! cargo xtask lint [--root PATH]
 //! cargo xtask crashcheck [crashcheck args...]
 //! cargo xtask chaos [chaos args...]
+//! cargo xtask perfline [perfline args...]
 //! ```
 //!
 //! `crashcheck` builds and runs the crash-consistency sweep
@@ -14,6 +15,11 @@
 //! in release mode, forwarding its arguments — see
 //! `cargo xtask chaos --help`. CI runs both the default sweep and
 //! `--seed-bug all`.
+//!
+//! `perfline` builds and runs the perf-trajectory suite
+//! (`papyrus-perfline`) in release mode, forwarding its arguments — see
+//! `cargo xtask perfline --help`. CI runs the regression gate against the
+//! committed `BENCH_baseline.json` plus the `--seed-bug all` self-test.
 //!
 //! `lint` is a plain-text, AST-lite pass over the workspace sources
 //! enforcing repo-specific rules that rustc/clippy cannot express:
@@ -125,10 +131,27 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("perfline") => {
+            // Release build: the suite measures the engine; debug-mode
+            // numbers would gate against a different codepath cost model.
+            let status = std::process::Command::new(env!("CARGO"))
+                .current_dir(workspace_root())
+                .args(["run", "--release", "-p", "papyrus-perfline", "--bin", "perfline", "--"])
+                .args(&args[1..])
+                .status();
+            match status {
+                Ok(s) if s.success() => ExitCode::SUCCESS,
+                Ok(_) => ExitCode::FAILURE,
+                Err(e) => {
+                    eprintln!("xtask perfline: failed to run cargo: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         _ => {
             eprintln!(
                 "usage: cargo xtask lint [--root PATH] | cargo xtask crashcheck [args...] \
-                 | cargo xtask chaos [args...]"
+                 | cargo xtask chaos [args...] | cargo xtask perfline [args...]"
             );
             ExitCode::FAILURE
         }

@@ -1,6 +1,6 @@
 # Convenience targets mirroring what CI runs.
 
-.PHONY: build test fmt clippy lint sanity crashcheck chaos perfline verify trace clean
+.PHONY: build test fmt clippy lint sanity modelcheck crashcheck chaos perfline verify trace clean
 
 build:
 	cargo build --release --workspace
@@ -23,6 +23,16 @@ lint:
 # MPI happens-before / protocol monitoring, deadlock detection.
 sanity:
 	PAPYRUS_SANITY=1 cargo test -q --release --workspace
+
+# Model checking: rebuild the workspace with `--cfg modelcheck` (atomics and
+# locks swap to the papyrus-modelcheck shims) and exhaustively explore
+# bounded thread interleavings of the concurrent data structures and the
+# replica promotion protocol, with DPOR pruning. The second leg proves the
+# checker catches two planted concurrency bugs (a Relaxed-publication data
+# race and a check-then-act promotion race).
+modelcheck:
+	cargo xtask modelcheck
+	cargo xtask modelcheck --seed-bug all
 
 # Crash-consistency sweep: enumerate every NVM crash point of a
 # checkpoint/restart workload, verify recovery against audit_db and a KV
@@ -51,7 +61,7 @@ perfline:
 	cargo xtask perfline --seed-bug all
 
 # The tier-1 gate: everything CI requires to pass, in one command.
-verify: build test fmt clippy lint crashcheck chaos perfline
+verify: build test fmt clippy lint modelcheck crashcheck chaos perfline
 	@echo "verify: OK"
 
 # Quick observability smoke: writes trace.json (chrome://tracing / Perfetto).

@@ -214,6 +214,8 @@ pub(crate) fn run_checkpoint_transfer(
         dest,
         &db.name,
         me,
+        // ordering: SeqCst matches the allocator's fetch_add so the
+        // manifest's next-SSID is never behind a table it references.
         db.next_ssid.load(std::sync::atomic::Ordering::SeqCst),
         &ssids,
         t,

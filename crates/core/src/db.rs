@@ -7,8 +7,12 @@
 //! interleavings across ranks.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+// Protocol atomics go through the sanity facade, which swaps in the model
+// checker's shimmed types under `--cfg modelcheck` so `cargo xtask
+// modelcheck` can explore SSID/barrier-epoch interleavings.
+use papyrus_sanity::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use bytes::Bytes;
@@ -430,6 +434,9 @@ pub(crate) fn run_flush(ctx: &CtxInner, db: &Arc<DbInner>, mt: Arc<MemTable>, st
     let me = ctx.rank.rank();
     let entries: Vec<(Vec<u8>, Entry)> = mt.iter().map(|(k, e)| (k.to_vec(), e.clone())).collect();
 
+    // ordering: SSID allocation is SeqCst so manifest writers reading the
+    // counter (run_flush/compaction/checkpoint) totally agree on which ids
+    // are spoken for; audit relies on registered id < next_ssid.
     let ssid = db.next_ssid.fetch_add(1, Ordering::SeqCst);
     let base = sstable::sst_base(&ctx.repo.prefix, &db.name, me, ssid);
     let (reader, done) = if fi::enabled() {
@@ -463,6 +470,7 @@ pub(crate) fn run_flush(ctx: &CtxInner, db: &Arc<DbInner>, mt: Arc<MemTable>, st
         &ctx.repo.prefix,
         &db.name,
         me,
+        // ordering: SeqCst pairs with the allocator's fetch_add above.
         db.next_ssid.load(Ordering::SeqCst),
         &db.ssts.read().iter().map(SstReader::ssid).collect::<Vec<_>>(),
         done,
@@ -492,6 +500,7 @@ fn run_merge_compaction(ctx: &CtxInner, db: &Arc<DbInner>, stamp: SimNs) {
     if snapshot.len() <= 1 {
         return;
     }
+    // ordering: same SeqCst SSID allocator as run_flush.
     let new_ssid = db.next_ssid.fetch_add(1, Ordering::SeqCst);
     let base = sstable::sst_base(&ctx.repo.prefix, &db.name, me, new_ssid);
     // Merging ALL live tables: tombstones can be dropped outright.
@@ -525,6 +534,7 @@ fn run_merge_compaction(ctx: &CtxInner, db: &Arc<DbInner>, stamp: SimNs) {
         &ctx.repo.prefix,
         &db.name,
         me,
+        // ordering: SeqCst pairs with the allocator's fetch_add above.
         db.next_ssid.load(Ordering::SeqCst),
         &[new_ssid],
         done,
@@ -1331,6 +1341,8 @@ pub(crate) fn close_inner(ctx: &Arc<CtxInner>, db: &Arc<DbInner>) -> Result<()> 
         // After the close barrier every epoch this rank entered has
         // completed, so any mark entry for an already-completed epoch means
         // a reconciliation round failed to consume exactly n marks.
+        // ordering: SeqCst pairs with the barrier's epoch fetch_add; the
+        // audit must see every epoch a completed barrier entered.
         let epoch = db.barrier_epoch.load(Ordering::SeqCst);
         for (&e, &(count, _)) in sync.barrier_marks.iter().filter(|(&e, _)| e < epoch) {
             papyrus_sanity::record_violation(
@@ -1381,6 +1393,9 @@ pub(crate) fn barrier_inner(ctx: &CtxInner, db: &Arc<DbInner>, level: BarrierLev
 
     // FIFO barrier marks: per-sender channel ordering guarantees every data
     // message sent before the mark is ingested before the mark is counted.
+    // ordering: barrier epochs form a single global sequence; SeqCst keeps
+    // every rank's mark accounting and the close-time audit on one total
+    // order of epochs.
     let epoch = db.barrier_epoch.fetch_add(1, Ordering::SeqCst);
     let n = ctx.rank.size();
     let mark = msg::encode_barrier_mark(db.id, epoch);

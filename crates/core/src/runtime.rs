@@ -16,8 +16,11 @@
 //! The runtime duplicates independent communicators at init so its internal
 //! traffic never collides with application messages.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+
+// Protocol atomics go through the sanity facade (modelcheck-shimmed under
+// `--cfg modelcheck`); see papyrus_sanity::atomic.
+use papyrus_sanity::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -298,6 +301,8 @@ impl CtxInner {
 
     /// Next RPC sequence number (unique per rank; never 0).
     pub(crate) fn next_rpc_seq(&self) -> msg::RpcSeq {
+        // ordering: unique-ID allocator; only the atomicity of the RMW
+        // matters, the value publishes no other data.
         self.rpc_seq.fetch_add(1, Ordering::Relaxed) + 1
     }
 }

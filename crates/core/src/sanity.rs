@@ -130,6 +130,8 @@ pub fn audit_db(db: &Db) -> AuditReport {
     let (ctx, inner) = db.sanity_parts();
     let mut report = AuditReport::default();
     let me = ctx.rank.rank();
+    // ordering: audit reads the allocator with the same SeqCst the
+    // flush/compaction paths use, so every registered table id is <= it.
     let next_ssid = inner.next_ssid.load(Ordering::SeqCst);
 
     // SSTable registry + per-table checks. Snapshot the readers so no lock
@@ -225,6 +227,8 @@ pub fn audit_db(db: &Db) -> AuditReport {
 
     let (pending_flushes, migration_inflight, stale_marks) = {
         let sync = inner.sync.lock();
+        // ordering: SeqCst pairs with the barrier's fetch_add; the audit
+        // must not observe an epoch older than a completed barrier.
         let epoch = inner.barrier_epoch.load(Ordering::SeqCst);
         // Marks for epochs >= the current counter are in-flight arrivals for
         // a barrier this rank has not completed — legitimate. Marks for

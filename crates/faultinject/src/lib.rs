@@ -35,6 +35,8 @@ static STATE: AtomicU8 = AtomicU8::new(0);
 /// initialised; first call reads `PAPYRUS_FAULTS`.
 #[inline]
 pub fn enabled() -> bool {
+    // ordering: env-derived on/off latch; it guards no data and every
+    // reader re-checks it per call, so relaxed is sufficient.
     match STATE.load(Ordering::Relaxed) {
         0 => init_from_env(),
         1 => false,
@@ -48,17 +50,21 @@ fn init_from_env() -> bool {
         std::env::var("PAPYRUS_FAULTS").ok().as_deref(),
         Some("1") | Some("true") | Some("on") | Some("yes")
     );
+    // ordering: idempotent latch init — racing initialisers compute the
+    // same value from the same environment, so lost stores are harmless.
     STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
     on
 }
 
 /// Force the gate on (tests / chaos harness), overriding the environment.
 pub fn force_enable() {
+    // ordering: latch write; takes effect on each reader's next check.
     STATE.store(2, Ordering::Relaxed);
 }
 
 /// Force the gate off.
 pub fn force_disable() {
+    // ordering: latch write, as above.
     STATE.store(1, Ordering::Relaxed);
 }
 
@@ -87,12 +93,15 @@ pub fn set_planted_bug(bug: Option<PlantedBug>) {
         Some(PlantedBug::LostAck) => 1,
         Some(PlantedBug::Hang) => 2,
     };
+    // ordering: the harness plants bugs before spawning the workload and
+    // thread spawn publishes the value; no concurrent planting exists.
     BUG.store(v, Ordering::Relaxed);
 }
 
 /// The currently planted bug, if any. One relaxed load.
 #[inline]
 pub fn planted_bug() -> Option<PlantedBug> {
+    // ordering: read of the pre-spawn latch, see set_planted_bug.
     match BUG.load(Ordering::Relaxed) {
         1 => Some(PlantedBug::LostAck),
         2 => Some(PlantedBug::Hang),
@@ -376,11 +385,16 @@ impl FaultPlan {
                     continue;
                 }
                 let left = &self.drops_left[i];
+                // ordering: the budget counter is the only shared state —
+                // the CAS only needs atomicity of the decrement, and the
+                // failure load merely refreshes `cur` for the retry. No
+                // other memory is published through it.
                 let mut cur = left.load(Ordering::Relaxed);
                 while cur > 0 {
                     match left.compare_exchange_weak(
                         cur,
                         cur - 1,
+                        // ordering: budget decrement; atomicity only.
                         Ordering::Relaxed,
                         Ordering::Relaxed,
                     ) {

@@ -1,0 +1,278 @@
+//! Shimmed atomic types.
+//!
+//! Drop-in replacements for `std::sync::atomic::*` that, inside a model
+//! execution, make every operation a scheduling point and feed the
+//! requested memory ordering into the vector-clock happens-before
+//! machinery. Values are always sequentially consistent (the scheduler
+//! serializes executions); *weak-memory bugs surface as data races on the
+//! non-atomic data the atomics were supposed to publish*, exactly as in
+//! loom. Outside a model every call passes straight through to std.
+
+use std::panic::Location;
+
+pub use std::sync::atomic::Ordering;
+
+use crate::exec::{self, HbFlags, ObjTag};
+
+macro_rules! atomic_int {
+    ($name:ident, $std:ident, $ty:ty) => {
+        /// Shimmed counterpart of [`std::sync::atomic::
+        #[doc = stringify!($std)]
+        /// `].
+        pub struct $name {
+            tag: ObjTag,
+            inner: std::sync::atomic::$std,
+        }
+
+        impl $name {
+            pub const fn new(v: $ty) -> Self {
+                Self { tag: ObjTag::new(), inner: std::sync::atomic::$std::new(v) }
+            }
+
+            #[track_caller]
+            pub fn load(&self, ord: Ordering) -> $ty {
+                exec::atomic_op(
+                    &self.tag,
+                    false,
+                    Location::caller(),
+                    Some(HbFlags::of(ord)),
+                    None,
+                    || self.inner.load(ord),
+                )
+            }
+
+            #[track_caller]
+            pub fn store(&self, v: $ty, ord: Ordering) {
+                exec::atomic_op(
+                    &self.tag,
+                    true,
+                    Location::caller(),
+                    None,
+                    Some(HbFlags::of(ord)),
+                    || self.inner.store(v, ord),
+                )
+            }
+
+            #[track_caller]
+            pub fn swap(&self, v: $ty, ord: Ordering) -> $ty {
+                self.rmw(ord, |inner| inner.swap(v, ord))
+            }
+
+            #[track_caller]
+            pub fn fetch_add(&self, v: $ty, ord: Ordering) -> $ty {
+                self.rmw(ord, |inner| inner.fetch_add(v, ord))
+            }
+
+            #[track_caller]
+            pub fn fetch_sub(&self, v: $ty, ord: Ordering) -> $ty {
+                self.rmw(ord, |inner| inner.fetch_sub(v, ord))
+            }
+
+            #[track_caller]
+            pub fn fetch_and(&self, v: $ty, ord: Ordering) -> $ty {
+                self.rmw(ord, |inner| inner.fetch_and(v, ord))
+            }
+
+            #[track_caller]
+            pub fn fetch_or(&self, v: $ty, ord: Ordering) -> $ty {
+                self.rmw(ord, |inner| inner.fetch_or(v, ord))
+            }
+
+            #[track_caller]
+            pub fn fetch_xor(&self, v: $ty, ord: Ordering) -> $ty {
+                self.rmw(ord, |inner| inner.fetch_xor(v, ord))
+            }
+
+            #[track_caller]
+            pub fn fetch_max(&self, v: $ty, ord: Ordering) -> $ty {
+                self.rmw(ord, |inner| inner.fetch_max(v, ord))
+            }
+
+            #[track_caller]
+            pub fn fetch_min(&self, v: $ty, ord: Ordering) -> $ty {
+                self.rmw(ord, |inner| inner.fetch_min(v, ord))
+            }
+
+            #[track_caller]
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                exec::atomic_cas(&self.tag, Location::caller(), success, failure, || {
+                    self.inner.compare_exchange(current, new, success, failure)
+                })
+            }
+
+            /// Under the model a "weak" CAS only fails on a value mismatch
+            /// (no spurious failures): spurious-failure retry loops are
+            /// explored through genuine interleavings instead.
+            #[track_caller]
+            pub fn compare_exchange_weak(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                exec::atomic_cas(&self.tag, Location::caller(), success, failure, || {
+                    self.inner.compare_exchange(current, new, success, failure)
+                })
+            }
+
+            /// Exclusive access: no concurrency possible, untracked.
+            pub fn get_mut(&mut self) -> &mut $ty {
+                self.inner.get_mut()
+            }
+
+            pub fn into_inner(self) -> $ty {
+                self.inner.into_inner()
+            }
+
+            #[track_caller]
+            fn rmw(&self, ord: Ordering, f: impl FnOnce(&std::sync::atomic::$std) -> $ty) -> $ty {
+                exec::atomic_op(
+                    &self.tag,
+                    true,
+                    Location::caller(),
+                    Some(HbFlags::of(ord)),
+                    Some(HbFlags::of(ord)),
+                    || f(&self.inner),
+                )
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(<$ty>::default())
+            }
+        }
+
+        impl From<$ty> for $name {
+            fn from(v: $ty) -> Self {
+                Self::new(v)
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                std::fmt::Debug::fmt(&self.inner, f)
+            }
+        }
+    };
+}
+
+atomic_int!(AtomicUsize, AtomicUsize, usize);
+atomic_int!(AtomicU64, AtomicU64, u64);
+atomic_int!(AtomicU32, AtomicU32, u32);
+atomic_int!(AtomicU8, AtomicU8, u8);
+atomic_int!(AtomicI64, AtomicI64, i64);
+
+/// Shimmed counterpart of [`std::sync::atomic::AtomicBool`].
+pub struct AtomicBool {
+    tag: ObjTag,
+    inner: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    pub const fn new(v: bool) -> Self {
+        Self { tag: ObjTag::new(), inner: std::sync::atomic::AtomicBool::new(v) }
+    }
+
+    #[track_caller]
+    pub fn load(&self, ord: Ordering) -> bool {
+        exec::atomic_op(&self.tag, false, Location::caller(), Some(HbFlags::of(ord)), None, || {
+            self.inner.load(ord)
+        })
+    }
+
+    #[track_caller]
+    pub fn store(&self, v: bool, ord: Ordering) {
+        exec::atomic_op(&self.tag, true, Location::caller(), None, Some(HbFlags::of(ord)), || {
+            self.inner.store(v, ord)
+        })
+    }
+
+    #[track_caller]
+    pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+        self.rmw(ord, |inner| inner.swap(v, ord))
+    }
+
+    #[track_caller]
+    pub fn fetch_and(&self, v: bool, ord: Ordering) -> bool {
+        self.rmw(ord, |inner| inner.fetch_and(v, ord))
+    }
+
+    #[track_caller]
+    pub fn fetch_or(&self, v: bool, ord: Ordering) -> bool {
+        self.rmw(ord, |inner| inner.fetch_or(v, ord))
+    }
+
+    #[track_caller]
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        exec::atomic_cas(&self.tag, Location::caller(), success, failure, || {
+            self.inner.compare_exchange(current, new, success, failure)
+        })
+    }
+
+    /// See the integer shims: weak CAS never fails spuriously here.
+    #[track_caller]
+    pub fn compare_exchange_weak(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        exec::atomic_cas(&self.tag, Location::caller(), success, failure, || {
+            self.inner.compare_exchange(current, new, success, failure)
+        })
+    }
+
+    /// Exclusive access: no concurrency possible, untracked.
+    pub fn get_mut(&mut self) -> &mut bool {
+        self.inner.get_mut()
+    }
+
+    pub fn into_inner(self) -> bool {
+        self.inner.into_inner()
+    }
+
+    #[track_caller]
+    fn rmw(&self, ord: Ordering, f: impl FnOnce(&std::sync::atomic::AtomicBool) -> bool) -> bool {
+        exec::atomic_op(
+            &self.tag,
+            true,
+            Location::caller(),
+            Some(HbFlags::of(ord)),
+            Some(HbFlags::of(ord)),
+            || f(&self.inner),
+        )
+    }
+}
+
+impl Default for AtomicBool {
+    fn default() -> Self {
+        Self::new(false)
+    }
+}
+
+impl From<bool> for AtomicBool {
+    fn from(v: bool) -> Self {
+        Self::new(v)
+    }
+}
+
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&self.inner, f)
+    }
+}

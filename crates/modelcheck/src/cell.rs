@@ -1,0 +1,73 @@
+//! Shimmed `UnsafeCell`: the data-race detector's probe.
+//!
+//! Non-atomic shared state accessed through this cell is checked against
+//! the vector-clock happens-before relation on every access: two accesses
+//! with no synchronization chain between them (at least one a write) are
+//! reported as a [`DataRace`](crate::ViolationKind::DataRace).
+//!
+//! `with` / `with_mut` record a read / write respectively. The raw `get()`
+//! escape hatch conservatively records a *write* (callers use it for both,
+//! and existing code like `core`'s queue shouldn't need rewriting to be
+//! modeled).
+
+use std::panic::Location;
+
+use crate::exec::{self, ObjTag};
+
+/// Shimmed counterpart of [`std::cell::UnsafeCell`].
+#[derive(Debug)]
+pub struct UnsafeCell<T: ?Sized> {
+    tag: ObjTag,
+    inner: std::cell::UnsafeCell<T>,
+}
+
+impl<T> UnsafeCell<T> {
+    pub const fn new(t: T) -> Self {
+        Self { tag: ObjTag::new(), inner: std::cell::UnsafeCell::new(t) }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> UnsafeCell<T> {
+    /// Raw pointer access; recorded as a *write* (conservative: the caller
+    /// may do either through the pointer).
+    #[track_caller]
+    pub fn get(&self) -> *mut T {
+        exec::data_op(&self.tag, true, Location::caller());
+        self.inner.get()
+    }
+
+    /// Immutable access, recorded as a read.
+    ///
+    /// # Safety
+    /// As for [`std::cell::UnsafeCell`]: the caller must guarantee no
+    /// concurrent mutable access exists (the model checker verifies that
+    /// guarantee under every explored schedule).
+    #[track_caller]
+    pub unsafe fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        exec::data_op(&self.tag, false, Location::caller());
+        f(self.inner.get())
+    }
+
+    /// Mutable access, recorded as a write.
+    ///
+    /// # Safety
+    /// As for [`std::cell::UnsafeCell`]: the caller must guarantee the
+    /// access is exclusive (the model checker verifies that guarantee
+    /// under every explored schedule).
+    #[track_caller]
+    pub unsafe fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        exec::data_op(&self.tag, true, Location::caller());
+        f(self.inner.get())
+    }
+
+    /// Exclusive access: no concurrency possible, untracked.
+    pub fn get_mut(&mut self) -> &mut T {
+        // SAFETY: `&mut self` guarantees exclusive access for the
+        // returned borrow's lifetime.
+        unsafe { &mut *self.inner.get() }
+    }
+}

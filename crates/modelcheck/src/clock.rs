@@ -1,0 +1,70 @@
+//! Vector clocks for happens-before tracking.
+//!
+//! Each model thread carries a [`VClock`]; every executed synchronization
+//! step ticks the thread's own component. Release-style operations publish
+//! the running thread's clock into the touched object; acquire-style
+//! operations join the object's clock back into the thread. A non-atomic
+//! access by thread `t` to a location last written by thread `w` at epoch
+//! `e` is racy iff `t`'s clock component for `w` is below `e` — i.e. no
+//! synchronization chain ordered the two accesses.
+
+/// A growable vector clock indexed by model thread id.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u64>);
+
+impl VClock {
+    pub(crate) fn new() -> Self {
+        Self(Vec::new())
+    }
+
+    /// The clock component for `tid` (0 if never ticked).
+    pub(crate) fn get(&self, tid: usize) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Advance `tid`'s own component and return the new epoch.
+    pub(crate) fn tick(&mut self, tid: usize) -> u64 {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+        self.0[tid]
+    }
+
+    /// Component-wise maximum: afterwards `self` dominates both inputs.
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (a, &b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(b);
+        }
+    }
+
+    /// Forget all ordering (used when a relaxed store breaks a release
+    /// chain: later acquire loads must not synchronize with it).
+    pub(crate) fn clear(&mut self) {
+        self.0.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_join_get() {
+        let mut a = VClock::new();
+        assert_eq!(a.tick(2), 1);
+        assert_eq!(a.tick(2), 2);
+        assert_eq!(a.get(2), 2);
+        assert_eq!(a.get(0), 0);
+        let mut b = VClock::new();
+        b.tick(0);
+        b.join(&a);
+        assert_eq!(b.get(0), 1);
+        assert_eq!(b.get(2), 2);
+        b.clear();
+        assert_eq!(b.get(0), 0);
+    }
+}

@@ -1,0 +1,292 @@
+//! The exploration loop: DFS over scheduling decisions with DPOR-style
+//! pruning, an optional full (unpruned) mode, and a seeded random-walk
+//! mode for state spaces too large to exhaust.
+//!
+//! Each execution yields the sequence of decisions taken (with the full
+//! enabled set at each point) plus the access trace. DPOR then walks the
+//! trace: for every step `i` by thread `p` touching object `o`, the last
+//! earlier step `j` by a different thread that *conflicts* on `o` (at
+//! least one side a write) gets `p` added to its backtrack set — i.e. "we
+//! must also try running `p` first at that point". The DFS revisits only
+//! decision points with non-empty unexplored backtrack sets; everything
+//! else is pruned as equivalent by commutativity.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use crate::exec::{self, ExecOutcome, Violation};
+
+/// Result of exploring one model.
+#[derive(Debug)]
+pub struct Report {
+    /// Number of distinct executions (interleavings) run.
+    pub interleavings: u64,
+    /// Enabled-but-never-taken branches skipped at popped decision points
+    /// (the saving DPOR bought relative to the full tree).
+    pub prunes: u64,
+    /// Violations found (at most one per execution; empty = model clean).
+    pub violations: Vec<Violation>,
+    /// Rendered schedule of the first violating execution.
+    pub schedule: Option<String>,
+    /// True if exploration stopped at `max_interleavings` before
+    /// exhausting the state space.
+    pub capped: bool,
+}
+
+impl Report {
+    /// True iff no violation was found.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// One decision point on the DFS stack.
+struct Choice {
+    /// Threads enabled at this point (fixed across revisits: the replayed
+    /// prefix is deterministic).
+    enabled: Vec<usize>,
+    /// Threads that must be tried here (DPOR grows this; full mode seeds
+    /// it with `enabled`).
+    backtrack: BTreeSet<usize>,
+    /// Threads already tried here.
+    done: BTreeSet<usize>,
+    /// Thread taken on the most recent pass (forms the replay prefix).
+    chosen: usize,
+}
+
+/// Configures and runs an exploration. Defaults: DPOR pruning on, 20 000
+/// step bound, no interleaving cap, stop at the first violation.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    max_steps: usize,
+    max_interleavings: Option<u64>,
+    full: bool,
+    random_walk: Option<(u64, u64)>,
+    stop_on_violation: bool,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Builder {
+    pub fn new() -> Self {
+        Self {
+            max_steps: 20_000,
+            max_interleavings: None,
+            full: false,
+            random_walk: None,
+            stop_on_violation: true,
+        }
+    }
+
+    /// Per-execution step bound (exceeding it is a [`StepBound`]
+    /// violation — livelock, or an unbounded spin loop in the model).
+    ///
+    /// [`StepBound`]: crate::ViolationKind::StepBound
+    pub fn max_steps(mut self, n: usize) -> Self {
+        self.max_steps = n;
+        self
+    }
+
+    /// Cap the number of executions; the report sets `capped` when hit.
+    pub fn max_interleavings(mut self, n: u64) -> Self {
+        self.max_interleavings = Some(n);
+        self
+    }
+
+    /// Disable DPOR pruning: explore the full decision tree. Only viable
+    /// for tiny models; used by self-tests to validate the pruning.
+    pub fn full(mut self) -> Self {
+        self.full = true;
+        self
+    }
+
+    /// Random-walk mode: `iterations` executions, each driven by a
+    /// deterministic RNG derived from `seed` — for state spaces too large
+    /// to exhaust. Replaces DFS entirely.
+    pub fn random_walk(mut self, seed: u64, iterations: u64) -> Self {
+        self.random_walk = Some((seed, iterations));
+        self
+    }
+
+    /// Keep exploring after a violation (collect several).
+    pub fn keep_going(mut self) -> Self {
+        self.stop_on_violation = false;
+        self
+    }
+
+    /// Explore `f` and return the report. `f` runs once per interleaving
+    /// and must be self-contained (fresh state each call).
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        exec::init_panic_hook();
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        match self.random_walk {
+            Some((seed, iterations)) => self.run_random(&f, seed, iterations),
+            None => self.run_dfs(&f),
+        }
+    }
+
+    fn run_random(&self, f: &Arc<dyn Fn() + Send + Sync>, seed: u64, iterations: u64) -> Report {
+        let mut report = Report {
+            interleavings: 0,
+            prunes: 0,
+            violations: Vec::new(),
+            schedule: None,
+            capped: false,
+        };
+        for i in 0..iterations {
+            // Decorrelate per-iteration streams (splitmix64 of seed + i
+            // happens inside the scheduler; offsetting by a large odd
+            // constant keeps streams distinct even for adjacent seeds).
+            let stream = seed.wrapping_add(i.wrapping_mul(0x9E3779B97F4A7C15));
+            let outcome = exec::run_once(f, Vec::new(), Some(stream), self.max_steps);
+            report.interleavings += 1;
+            if let Some(v) = outcome.violation {
+                report.violations.push(v);
+                if report.schedule.is_none() {
+                    report.schedule = Some(outcome.schedule);
+                }
+                if self.stop_on_violation {
+                    break;
+                }
+            }
+        }
+        report
+    }
+
+    fn run_dfs(&self, f: &Arc<dyn Fn() + Send + Sync>) -> Report {
+        let mut report = Report {
+            interleavings: 0,
+            prunes: 0,
+            violations: Vec::new(),
+            schedule: None,
+            capped: false,
+        };
+        let mut stack: Vec<Choice> = Vec::new();
+        let mut replay: Vec<usize> = Vec::new();
+        loop {
+            let mut outcome = exec::run_once(f, replay.clone(), None, self.max_steps);
+            report.interleavings += 1;
+            let violated = outcome.violation.is_some();
+            if let Some(v) = outcome.violation.take() {
+                report.violations.push(v);
+                if report.schedule.is_none() {
+                    report.schedule = Some(std::mem::take(&mut outcome.schedule));
+                }
+            }
+            self.merge_into_stack(&mut stack, &outcome);
+            if violated && self.stop_on_violation {
+                break;
+            }
+            if !self.full {
+                add_backtrack_points(&mut stack, &outcome);
+            }
+            match next_target(&mut stack, &mut report.prunes) {
+                None => break,
+                Some(c) => {
+                    replay = stack[..stack.len() - 1].iter().map(|ch| ch.chosen).collect();
+                    replay.push(c);
+                }
+            }
+            if let Some(cap) = self.max_interleavings {
+                if report.interleavings >= cap {
+                    report.capped = true;
+                    break;
+                }
+            }
+        }
+        report
+    }
+
+    fn merge_into_stack(&self, stack: &mut Vec<Choice>, outcome: &ExecOutcome) {
+        for (k, d) in outcome.decisions.iter().enumerate() {
+            if k < stack.len() {
+                stack[k].chosen = d.chosen;
+                stack[k].done.insert(d.chosen);
+            } else {
+                let backtrack: BTreeSet<usize> = if self.full {
+                    d.enabled.iter().copied().collect()
+                } else {
+                    BTreeSet::from([d.chosen])
+                };
+                stack.push(Choice {
+                    enabled: d.enabled.clone(),
+                    backtrack,
+                    done: BTreeSet::from([d.chosen]),
+                    chosen: d.chosen,
+                });
+            }
+        }
+        // An aborted execution (violation) can be shorter than the stack.
+        stack.truncate(outcome.decisions.len());
+    }
+}
+
+/// The DPOR pass: mark backtrack points for every conflicting pair.
+fn add_backtrack_points(stack: &mut [Choice], outcome: &ExecOutcome) {
+    for i in 0..outcome.trace.len() {
+        let Some((obj, wi)) = outcome.trace[i].access else { continue };
+        let p = outcome.trace[i].tid;
+        // Last earlier step by a different thread conflicting on obj.
+        for j in (0..i.min(stack.len())).rev() {
+            let Some((oj, wj)) = outcome.trace[j].access else { continue };
+            if oj == obj && outcome.trace[j].tid != p && (wi || wj) {
+                if stack[j].enabled.contains(&p) {
+                    stack[j].backtrack.insert(p);
+                } else {
+                    // p wasn't enabled at j: conservatively try everything
+                    // that was (the standard over-approximation).
+                    let all: Vec<usize> = stack[j].enabled.clone();
+                    stack[j].backtrack.extend(all);
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// Pop exhausted decision points (counting pruned branches) and return the
+/// next unexplored backtrack choice at the deepest remaining point.
+fn next_target(stack: &mut Vec<Choice>, prunes: &mut u64) -> Option<usize> {
+    loop {
+        let top = stack.last()?;
+        if let Some(&c) = top.backtrack.difference(&top.done).next() {
+            return Some(c);
+        }
+        let top = stack.pop().expect("non-empty: last() succeeded");
+        *prunes += (top.enabled.len() - top.done.len()) as u64;
+    }
+}
+
+/// Exhaustively explore `f` with DPOR pruning; panic with the violating
+/// schedule if a concurrency bug is found. The assert-style entry point
+/// for tests.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let report = Builder::new().check(f);
+    if let Some(v) = report.violations.first() {
+        panic!(
+            "modelcheck: {} — {}\nschedule:\n{}",
+            v.kind.name(),
+            v.detail,
+            report.schedule.as_deref().unwrap_or("<none>")
+        );
+    }
+}
+
+/// Exhaustively explore `f` with DPOR pruning and return the report
+/// (violations collected, not panicked).
+pub fn explore<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().check(f)
+}

@@ -1,0 +1,17 @@
+//! Shimmed `hint::spin_loop`: a scheduling point in a model (so spin-wait
+//! loops hand the schedule to the thread they are waiting on instead of
+//! spinning to the step bound), a real pause instruction otherwise.
+
+use std::panic::Location;
+
+use crate::exec;
+
+/// Shimmed counterpart of [`std::hint::spin_loop`].
+#[track_caller]
+pub fn spin_loop() {
+    if exec::in_model() {
+        exec::yield_point(Location::caller());
+    } else {
+        std::hint::spin_loop();
+    }
+}

@@ -1,0 +1,324 @@
+//! Shimmed `Mutex` / `RwLock` / `Condvar`, API-compatible with the
+//! workspace's `parking_lot` compat shim (non-poisoning, `Condvar::wait`
+//! takes `&mut MutexGuard`).
+//!
+//! Inside a model execution, acquisition is a scheduling point and the
+//! model's lock table decides who may hold the lock; the underlying std
+//! primitive is then taken uncontended (the model never grants a held
+//! lock). Release is an immediate effect. Lock/unlock pairs feed the
+//! vector-clock happens-before relation, so data protected by a lock is
+//! ordered and data that escapes it races.
+
+use std::panic::Location;
+use std::time::Duration;
+
+use crate::exec::{self, LockReq, ObjTag};
+
+fn unpoison<T>(r: Result<T, std::sync::PoisonError<T>>) -> T {
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// Shimmed counterpart of the compat `parking_lot::Mutex`.
+pub struct Mutex<T> {
+    tag: ObjTag,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(t: T) -> Self {
+        Self { tag: ObjTag::new(), inner: std::sync::Mutex::new(t) }
+    }
+
+    #[track_caller]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let model = exec::lock_acquire(&self.tag, LockReq::Mutex, Location::caller());
+        let guard = unpoison(self.inner.lock());
+        MutexGuard { lock: self, guard: Some(guard), model }
+    }
+
+    #[track_caller]
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match exec::try_lock_acquire(&self.tag, LockReq::Mutex, Location::caller()) {
+            Some(true) => {
+                let guard = unpoison(self.inner.lock());
+                Some(MutexGuard { lock: self, guard: Some(guard), model: true })
+            }
+            Some(false) => None,
+            None => self.inner.try_lock().ok().map(|guard| MutexGuard {
+                lock: self,
+                guard: Some(guard),
+                model: false,
+            }),
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        unpoison(self.inner.get_mut())
+    }
+
+    pub fn into_inner(self) -> T {
+        unpoison(self.inner.into_inner())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&self.inner, f)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+/// Guard for [`Mutex`]; releases the model lock (if any) on drop.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    guard: Option<std::sync::MutexGuard<'a, T>>,
+    model: bool,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present outside condvar wait")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present outside condvar wait")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.guard = None;
+        if self.model {
+            exec::lock_release(&self.lock.tag, LockReq::Mutex);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// Result of a timed wait; mirrors the compat shim's type.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Shimmed counterpart of the compat `parking_lot::Condvar`.
+pub struct Condvar {
+    tag: ObjTag,
+    inner: std::sync::Condvar,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Self { tag: ObjTag::new(), inner: std::sync::Condvar::new() }
+    }
+
+    #[track_caller]
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let site = Location::caller();
+        if guard.model && exec::condvar_wait_begin(&self.tag, &guard.lock.tag, false, site) {
+            guard.guard = None;
+            exec::condvar_wait_finish(site);
+            guard.guard = Some(unpoison(guard.lock.inner.lock()));
+        } else {
+            let inner = guard.guard.take().expect("guard present before wait");
+            guard.guard = Some(unpoison(self.inner.wait(inner)));
+        }
+    }
+
+    #[track_caller]
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let site = Location::caller();
+        if guard.model && exec::condvar_wait_begin(&self.tag, &guard.lock.tag, true, site) {
+            guard.guard = None;
+            let timed_out = exec::condvar_wait_finish(site);
+            guard.guard = Some(unpoison(guard.lock.inner.lock()));
+            WaitTimeoutResult { timed_out }
+        } else {
+            let inner = guard.guard.take().expect("guard present before wait");
+            let (inner, res) = unpoison(self.inner.wait_timeout(inner, timeout));
+            guard.guard = Some(inner);
+            WaitTimeoutResult { timed_out: res.timed_out() }
+        }
+    }
+
+    pub fn notify_one(&self) {
+        exec::condvar_notify(&self.tag, false);
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        exec::condvar_notify(&self.tag, true);
+        self.inner.notify_all();
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Condvar { .. }")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+/// Shimmed counterpart of the compat `parking_lot::RwLock`.
+pub struct RwLock<T> {
+    tag: ObjTag,
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    pub const fn new(t: T) -> Self {
+        Self { tag: ObjTag::new(), inner: std::sync::RwLock::new(t) }
+    }
+
+    #[track_caller]
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let model = exec::lock_acquire(&self.tag, LockReq::Read, Location::caller());
+        let guard = unpoison(self.inner.read());
+        RwLockReadGuard { lock: self, guard: Some(guard), model }
+    }
+
+    #[track_caller]
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let model = exec::lock_acquire(&self.tag, LockReq::Write, Location::caller());
+        let guard = unpoison(self.inner.write());
+        RwLockWriteGuard { lock: self, guard: Some(guard), model }
+    }
+
+    #[track_caller]
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match exec::try_lock_acquire(&self.tag, LockReq::Read, Location::caller()) {
+            Some(true) => {
+                let guard = unpoison(self.inner.read());
+                Some(RwLockReadGuard { lock: self, guard: Some(guard), model: true })
+            }
+            Some(false) => None,
+            None => self.inner.try_read().ok().map(|guard| RwLockReadGuard {
+                lock: self,
+                guard: Some(guard),
+                model: false,
+            }),
+        }
+    }
+
+    #[track_caller]
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match exec::try_lock_acquire(&self.tag, LockReq::Write, Location::caller()) {
+            Some(true) => {
+                let guard = unpoison(self.inner.write());
+                Some(RwLockWriteGuard { lock: self, guard: Some(guard), model: true })
+            }
+            Some(false) => None,
+            None => self.inner.try_write().ok().map(|guard| RwLockWriteGuard {
+                lock: self,
+                guard: Some(guard),
+                model: false,
+            }),
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        unpoison(self.inner.get_mut())
+    }
+
+    pub fn into_inner(self) -> T {
+        unpoison(self.inner.into_inner())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&self.inner, f)
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+/// Shared guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    guard: Option<std::sync::RwLockReadGuard<'a, T>>,
+    model: bool,
+}
+
+impl<T> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("read guard present")
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.guard = None;
+        if self.model {
+            exec::lock_release(&self.lock.tag, LockReq::Read);
+        }
+    }
+}
+
+/// Exclusive guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    guard: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    model: bool,
+}
+
+impl<T> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("write guard present")
+    }
+}
+
+impl<T> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("write guard present")
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.guard = None;
+        if self.model {
+            exec::lock_release(&self.lock.tag, LockReq::Write);
+        }
+    }
+}

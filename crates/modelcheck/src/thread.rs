@@ -1,0 +1,74 @@
+//! Shimmed `thread::spawn` / `JoinHandle` / `yield_now`.
+//!
+//! Inside a model execution, spawned closures become cooperatively
+//! scheduled model threads (capped at a small per-execution limit so the
+//! interleaving space stays bounded); outside one they are plain
+//! `std::thread` spawns.
+
+use std::panic::Location;
+use std::sync::{Arc, Mutex};
+
+use crate::exec;
+
+enum Inner<T> {
+    Real(std::thread::JoinHandle<T>),
+    Model { tid: usize, result: Arc<Mutex<Option<T>>> },
+}
+
+/// Handle to a shim-spawned thread.
+pub struct JoinHandle<T>(Inner<T>);
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and return its result.
+    ///
+    /// In a model a panicking child aborts the whole execution as a
+    /// [`Panic`](crate::ViolationKind::Panic) violation before any joiner
+    /// resumes, so the `Err` arm is only reachable in passthrough mode.
+    #[track_caller]
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Inner::Real(h) => h.join(),
+            Inner::Model { tid, result } => {
+                exec::join_thread(tid, Location::caller());
+                let slot = result
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .take()
+                    .expect("joined model thread stored its result");
+                Ok(slot)
+            }
+        }
+    }
+}
+
+/// Shimmed counterpart of [`std::thread::spawn`].
+#[track_caller]
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    if exec::in_model() {
+        let result = Arc::new(Mutex::new(None));
+        let slot = Arc::clone(&result);
+        let tid = exec::spawn_thread(Box::new(move || {
+            let r = f();
+            *slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(r);
+        }))
+        .expect("in_model() checked above");
+        JoinHandle(Inner::Model { tid, result })
+    } else {
+        JoinHandle(Inner::Real(std::thread::spawn(f)))
+    }
+}
+
+/// Shimmed counterpart of [`std::thread::yield_now`]: a pure scheduling
+/// point in a model, a real yield otherwise.
+#[track_caller]
+pub fn yield_now() {
+    if exec::in_model() {
+        exec::yield_point(Location::caller());
+    } else {
+        std::thread::yield_now();
+    }
+}

@@ -344,6 +344,9 @@ impl Communicator {
     /// PapyrusKV duplicates the world communicator so runtime-internal
     /// messages cannot collide with application messages.
     pub fn dup(&self) -> Communicator {
+        // ordering: child-sequence allocator; collective agreement on the
+        // child id comes from every member calling in the same order, not
+        // from this counter's memory ordering.
         let seq = self.next_child_seq.fetch_add(1, Ordering::Relaxed);
         let (id, record) =
             self.fabric.create_child(self.id, seq, u64::MAX, self.record.members.to_vec());
@@ -376,6 +379,8 @@ impl Communicator {
             .iter()
             .position(|&(_, r)| r == self.me)
             .expect("split: caller missing from own color group");
+        // ordering: same allocator as dup(): collective call order, not
+        // memory ordering, is what keeps members agreeing on the child id.
         let seq = self.next_child_seq.fetch_add(1, Ordering::Relaxed);
         // The color is the discriminator: each color group creates its own
         // child under the same parent sequence number.

@@ -126,6 +126,8 @@ impl ProtoMonitor {
             .entry(ChannelKey { comm, src_world: stamp.src_world, dst_world: me_world, tag })
             .or_default()
             .recvs += 1;
+        // ordering: progress heartbeat; a stale read only delays
+        // deadlock confirmation by one observation round.
         self.generation.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -150,6 +152,8 @@ impl ProtoMonitor {
         c.merge(&frontier);
         c.tick(me_world);
         drop(c);
+        // ordering: progress heartbeat; a stale read only delays
+        // deadlock confirmation by one observation round.
         self.generation.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -157,6 +161,8 @@ impl ProtoMonitor {
     /// observations.
     pub(crate) fn on_deliver(&self) {
         if papyrus_sanity::enabled() {
+            // ordering: progress heartbeat; a stale read only delays
+            // deadlock confirmation by one observation round.
             self.generation.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -184,6 +190,8 @@ impl ProtoMonitor {
         me: Rank,
         prev: &mut Option<(u64, Vec<Rank>)>,
     ) -> Option<String> {
+        // ordering: heartbeat read; equality across two observations is a
+        // heuristic, a torn/stale value only costs an extra round.
         let gen = self.generation.load(Ordering::Relaxed);
         let cycle = {
             let blocked = self.blocked.lock();

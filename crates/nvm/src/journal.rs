@@ -68,6 +68,7 @@ pub fn capture() -> Option<Arc<Journal>> {
 /// Distinct namespace for an auto-wrapped store: `<device>#<ordinal>`.
 pub(crate) fn auto_namespace(device: &str) -> String {
     static ORDINAL: AtomicUsize = AtomicUsize::new(0);
+    // ordering: unique-suffix allocator; only RMW atomicity matters.
     format!("{device}#{}", ORDINAL.fetch_add(1, Ordering::Relaxed))
 }
 

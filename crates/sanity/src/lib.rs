@@ -33,6 +33,7 @@
 //! [`take_violations`], [`count_kind`]) and echoed to stderr once per
 //! distinct report so they are visible even when nothing asserts on them.
 
+pub mod atomic;
 pub mod lockorder;
 pub mod vclock;
 
@@ -51,6 +52,8 @@ static STATE: AtomicU8 = AtomicU8::new(0);
 /// hot path; the first call reads `PAPYRUS_SANITY` from the environment.
 #[inline]
 pub fn enabled() -> bool {
+    // ordering: env-derived on/off latch; it guards no data and every
+    // reader re-checks it per call, so relaxed is sufficient.
     match STATE.load(Ordering::Relaxed) {
         2 => true,
         1 => false,
@@ -61,6 +64,8 @@ pub fn enabled() -> bool {
 #[cold]
 fn init_from_env() -> bool {
     let on = std::env::var_os("PAPYRUS_SANITY").is_some_and(|v| v != "0" && !v.is_empty());
+    // ordering: idempotent latch init — racing initialisers compute the
+    // same value from the same environment, so lost stores are harmless.
     STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
     on
 }
@@ -69,11 +74,13 @@ fn init_from_env() -> bool {
 /// use only from a dedicated integration-test process, before the workload
 /// under test starts.
 pub fn force_enable() {
+    // ordering: latch write; takes effect on each reader's next check.
     STATE.store(2, Ordering::Relaxed);
 }
 
 /// Force the detectors off (tests).
 pub fn force_disable() {
+    // ordering: latch write, as above.
     STATE.store(1, Ordering::Relaxed);
 }
 
@@ -92,6 +99,7 @@ static CRASHCHECK_STATE: AtomicU8 = AtomicU8::new(0);
 /// Whether the crash-consistency plane is live (`PAPYRUS_CRASHCHECK`).
 #[inline]
 pub fn crashcheck_enabled() -> bool {
+    // ordering: same latch pattern as the main sanity gate above.
     match CRASHCHECK_STATE.load(Ordering::Relaxed) {
         2 => true,
         1 => false,
@@ -102,6 +110,7 @@ pub fn crashcheck_enabled() -> bool {
 #[cold]
 fn crashcheck_init_from_env() -> bool {
     let on = std::env::var_os("PAPYRUS_CRASHCHECK").is_some_and(|v| v != "0" && !v.is_empty());
+    // ordering: idempotent latch init, as above.
     CRASHCHECK_STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
     on
 }
@@ -109,11 +118,13 @@ fn crashcheck_init_from_env() -> bool {
 /// Force the crash-consistency plane on regardless of the environment
 /// (the crashcheck driver and its tests). Global.
 pub fn force_enable_crashcheck() {
+    // ordering: latch write; takes effect on each reader's next check.
     CRASHCHECK_STATE.store(2, Ordering::Relaxed);
 }
 
 /// Force the crash-consistency plane off (tests).
 pub fn force_disable_crashcheck() {
+    // ordering: latch write, as above.
     CRASHCHECK_STATE.store(1, Ordering::Relaxed);
 }
 

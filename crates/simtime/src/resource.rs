@@ -85,6 +85,8 @@ impl Resource {
         // free-running ranks chaining the whole job onto one timeline.
         let latest_start =
             now.saturating_add(occupancy.saturating_mul(MAX_OVERLAP)).saturating_add(QUEUE_SLACK);
+        // ordering: optimistic first read of a CAS retry loop; any stale
+        // value is corrected by the compare_exchange below.
         let mut cur = self.busy_until.load(Ordering::Relaxed);
         loop {
             let start = cur.max(now).min(latest_start);
@@ -93,6 +95,8 @@ impl Resource {
                 cur,
                 busy,
                 Ordering::AcqRel,
+                // ordering: failure path only refreshes `cur` for the next
+                // CAS attempt; no data is read through it.
                 Ordering::Relaxed,
             ) {
                 Ok(_) => return start.saturating_add(dur),

@@ -47,6 +47,8 @@ impl OpStats {
     /// Record one operation moving `bytes`.
     #[inline]
     pub fn record(&self, bytes: u64) {
+        // ordering: stat cells — atomic on their own, publishing nothing;
+        // readers are display paths that tolerate tearing between cells.
         self.inner.ops.fetch_add(1, Ordering::Relaxed);
         self.inner.bytes.fetch_add(bytes, Ordering::Relaxed);
     }
@@ -54,32 +56,38 @@ impl OpStats {
     /// Record a cache/bloom hit.
     #[inline]
     pub fn hit(&self) {
+        // ordering: stat cell, see record().
         self.inner.hits.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record a cache/bloom miss.
     #[inline]
     pub fn miss(&self) {
+        // ordering: stat cell, see record().
         self.inner.misses.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total operations recorded.
     pub fn ops(&self) -> u64 {
+        // ordering: display read; quiescent totals are ordered by joins.
         self.inner.ops.load(Ordering::Relaxed)
     }
 
     /// Total bytes recorded.
     pub fn bytes(&self) -> u64 {
+        // ordering: display read; quiescent totals are ordered by joins.
         self.inner.bytes.load(Ordering::Relaxed)
     }
 
     /// Total hits recorded.
     pub fn hits(&self) -> u64 {
+        // ordering: display read; quiescent totals are ordered by joins.
         self.inner.hits.load(Ordering::Relaxed)
     }
 
     /// Total misses recorded.
     pub fn misses(&self) -> u64 {
+        // ordering: display read; quiescent totals are ordered by joins.
         self.inner.misses.load(Ordering::Relaxed)
     }
 
@@ -121,6 +129,8 @@ impl OpStats {
 
     /// Zero all counters (shared across every clone of this handle).
     pub fn reset(&self) {
+        // ordering: reset is non-linearizable vs concurrent recorders by
+        // contract; callers quiesce first.
         self.inner.ops.store(0, Ordering::Relaxed);
         self.inner.bytes.store(0, Ordering::Relaxed);
         self.inner.hits.store(0, Ordering::Relaxed);

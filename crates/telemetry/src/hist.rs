@@ -7,8 +7,15 @@
 //! Recording is wait-free: one relaxed load on the enabled flag, then four
 //! relaxed atomic RMWs (bucket, count, sum, max).
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+
+// Under `--cfg modelcheck` the recording/merge atomics come from the
+// deterministic schedule explorer (see `modelcheck_tests` in the crate
+// root), so concurrent record+merge runs under exhaustive search.
+#[cfg(modelcheck)]
+use papyrus_modelcheck::atomic::{AtomicBool, AtomicU64, Ordering};
+#[cfg(not(modelcheck))]
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use papyrus_simtime::SimNs;
 
@@ -80,9 +87,15 @@ impl Histogram {
     #[inline]
     pub fn record(&self, v: SimNs) {
         let h = &*self.inner;
+        // ordering: the enabled flag is a pure on/off latch guarding no
+        // data; a stale read only delays the flip by one event.
         if !h.enabled.load(Ordering::Relaxed) {
             return;
         }
+        // ordering: wait-free stat cells. Each RMW is atomic on its own
+        // cell and nothing is published through them; cross-cell agreement
+        // is explicitly not promised (snapshot() may tear mid-record), so
+        // atomicity is all that is required.
         h.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         h.count.fetch_add(1, Ordering::Relaxed);
         h.sum.fetch_add(v, Ordering::Relaxed);
@@ -91,6 +104,7 @@ impl Histogram {
 
     /// Number of recorded values.
     pub fn count(&self) -> u64 {
+        // ordering: monotone display counter; no data depends on it.
         self.inner.count.load(Ordering::Relaxed)
     }
 
@@ -98,6 +112,11 @@ impl Histogram {
     pub fn snapshot(&self) -> HistogramData {
         let h = &*self.inner;
         HistogramData {
+            // ordering: racy-by-design reads of independently updated
+            // cells; a snapshot taken mid-record may see count ahead of
+            // sum. The consumers (percentile tables, the perf gate)
+            // tolerate that skew, and the post-quiescence reads the tests
+            // assert on are ordered by thread joins, not by the atomics.
             buckets: h.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
             count: h.count.load(Ordering::Relaxed),
             sum: h.sum.load(Ordering::Relaxed),
@@ -120,9 +139,11 @@ impl Histogram {
         let h = &*self.inner;
         for (b, &v) in h.buckets.iter().zip(&other.buckets) {
             if v != 0 {
-                b.fetch_add(v, Ordering::Relaxed);
+                b.fetch_add(v, Ordering::Relaxed); // ordering: stat cell, see record()
             }
         }
+        // ordering: same argument as record(): independent stat cells,
+        // atomicity without publication.
         h.count.fetch_add(other.count, Ordering::Relaxed);
         h.sum.fetch_add(other.sum, Ordering::Relaxed);
         h.max.fetch_max(other.max, Ordering::Relaxed);
@@ -132,8 +153,10 @@ impl Histogram {
     pub fn reset(&self) {
         let h = &*self.inner;
         for b in &h.buckets {
-            b.store(0, Ordering::Relaxed);
+            b.store(0, Ordering::Relaxed); // ordering: stat cell, see record()
         }
+        // ordering: reset is documented as non-linearizable with respect
+        // to concurrent recorders; callers quiesce first.
         h.count.store(0, Ordering::Relaxed);
         h.sum.store(0, Ordering::Relaxed);
         h.max.store(0, Ordering::Relaxed);

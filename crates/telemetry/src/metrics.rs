@@ -4,8 +4,13 @@
 //! time) through the [`crate::Registry`]; the hot path is a single relaxed
 //! atomic check plus one relaxed RMW.
 
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
+
+// See hist.rs: shimmed under `--cfg modelcheck` for schedule exploration.
+#[cfg(modelcheck)]
+use papyrus_modelcheck::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+#[cfg(not(modelcheck))]
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 
 struct CounterInner {
     enabled: Arc<AtomicBool>,
@@ -37,6 +42,9 @@ impl Counter {
     /// Increment by `n`. No-op when disabled.
     #[inline]
     pub fn add(&self, n: u64) {
+        // ordering: the enabled latch guards no data (stale read = one
+        // late/early event), and the value is a stat cell — atomic on its
+        // own, publishing nothing. See hist.rs record() for the long form.
         if self.inner.enabled.load(Ordering::Relaxed) {
             self.inner.value.fetch_add(n, Ordering::Relaxed);
         }
@@ -44,11 +52,14 @@ impl Counter {
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // ordering: display read; quiescent readers are ordered by joins.
         self.inner.value.load(Ordering::Relaxed)
     }
 
     /// Zero the counter.
     pub fn reset(&self) {
+        // ordering: reset is non-linearizable vs concurrent increments by
+        // contract; callers quiesce first.
         self.inner.value.store(0, Ordering::Relaxed);
     }
 }
@@ -83,6 +94,7 @@ impl Gauge {
     /// Overwrite the value. No-op when disabled.
     #[inline]
     pub fn set(&self, v: i64) {
+        // ordering: same stat-cell argument as Counter::add.
         if self.inner.enabled.load(Ordering::Relaxed) {
             self.inner.value.store(v, Ordering::Relaxed);
         }
@@ -91,6 +103,7 @@ impl Gauge {
     /// Add `n` (may be negative via [`Gauge::sub`]). No-op when disabled.
     #[inline]
     pub fn add(&self, n: i64) {
+        // ordering: same stat-cell argument as Counter::add.
         if self.inner.enabled.load(Ordering::Relaxed) {
             self.inner.value.fetch_add(n, Ordering::Relaxed);
         }
@@ -104,11 +117,14 @@ impl Gauge {
 
     /// Current value.
     pub fn get(&self) -> i64 {
+        // ordering: display read; quiescent readers are ordered by joins.
         self.inner.value.load(Ordering::Relaxed)
     }
 
     /// Zero the gauge.
     pub fn reset(&self) {
+        // ordering: reset is non-linearizable vs concurrent updates by
+        // contract; callers quiesce first.
         self.inner.value.store(0, Ordering::Relaxed);
     }
 }
@@ -130,6 +146,7 @@ mod tests {
         c.inc();
         c.add(4);
         assert_eq!(c.get(), 5);
+        // ordering: single-threaded test, no visibility at stake.
         flag.store(false, Ordering::Relaxed);
         c.inc();
         assert_eq!(c.get(), 5);

@@ -2,6 +2,11 @@
 
 use std::collections::BTreeMap;
 use std::io::Write as _;
+// See hist.rs: shimmed under `--cfg modelcheck` (the registry's enabled
+// flag is shared with metric handles, so the types must agree).
+#[cfg(modelcheck)]
+use papyrus_modelcheck::atomic::{AtomicBool, Ordering};
+#[cfg(not(modelcheck))]
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -67,11 +72,15 @@ impl Registry {
     /// Turn recording on or off. Existing handles observe the change on
     /// their next operation (relaxed load).
     pub fn set_enabled(&self, on: bool) {
+        // ordering: the flag gates only whether handles record; it guards
+        // no data, so the documented "next operation" visibility is all
+        // the relaxed latch needs to provide.
         self.enabled.store(on, Ordering::Relaxed);
     }
 
     /// Whether recording is on.
     pub fn enabled(&self) -> bool {
+        // ordering: latch read, as above.
         self.enabled.load(Ordering::Relaxed)
     }
 

@@ -7,6 +7,11 @@
 //! output follows the Chrome Trace Event format (the "JSON Array with
 //! metadata" flavor) and opens directly in chrome://tracing or Perfetto.
 
+// See hist.rs: shimmed under `--cfg modelcheck` (the registry's enabled
+// flag is shared with metric handles, so the types must agree).
+#[cfg(modelcheck)]
+use papyrus_modelcheck::atomic::{AtomicBool, AtomicU64, Ordering};
+#[cfg(not(modelcheck))]
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -116,6 +121,8 @@ impl SpanRecorder {
     /// Record a complete span `[start, end]`. No-op when disabled.
     #[inline]
     pub fn span(&self, cat: &'static str, name: &'static str, tid: u32, start: SimNs, end: SimNs) {
+        // ordering: enabled is a pure on/off latch; a stale read only
+        // drops or keeps one extra event.
         if !self.inner.enabled.load(Ordering::Relaxed) {
             return;
         }
@@ -132,6 +139,7 @@ impl SpanRecorder {
     /// Record an instant marker at `ts`. No-op when disabled.
     #[inline]
     pub fn instant(&self, cat: &'static str, name: &'static str, tid: u32, ts: SimNs) {
+        // ordering: enabled latch, as above.
         if !self.inner.enabled.load(Ordering::Relaxed) {
             return;
         }
@@ -142,6 +150,7 @@ impl SpanRecorder {
         let mut g = self.inner.events.lock();
         if g.len() >= self.inner.capacity {
             drop(g);
+            // ordering: overflow tally; a stat cell publishing nothing.
             self.inner.dropped.fetch_add(1, Ordering::Relaxed);
             return;
         }
@@ -150,6 +159,7 @@ impl SpanRecorder {
 
     /// Events dropped because the buffer was full.
     pub fn dropped(&self) -> u64 {
+        // ordering: display read of the overflow tally.
         self.inner.dropped.load(Ordering::Relaxed)
     }
 
@@ -171,6 +181,8 @@ impl SpanRecorder {
     /// Clear the buffer and drop counter.
     pub fn reset(&self) {
         self.inner.events.lock().clear();
+        // ordering: reset is non-linearizable vs concurrent recorders by
+        // contract; callers quiesce first.
         self.inner.dropped.store(0, Ordering::Relaxed);
     }
 }
@@ -329,6 +341,7 @@ mod tests {
         rec.span("t", "s", 0, 0, 10);
         rec.instant("t", "i", 0, 5);
         assert!(rec.is_empty());
+        // ordering: single-threaded test, no visibility at stake.
         flag.store(true, Ordering::Relaxed);
         rec.span("t", "s", 0, 0, 10);
         assert_eq!(rec.len(), 1);

@@ -1,0 +1,34 @@
+// Seeded fixture: Relaxed/SeqCst orderings without an `// ordering:`
+// justification must be flagged; justified, waived, and middle-strength
+// sites must not.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+pub fn bad_relaxed() -> u64 {
+    // Exactly two reportable findings in this file: the next line...
+    COUNTER.load(Ordering::Relaxed)
+}
+
+pub fn bad_seqcst() {
+    // ...and this store (a comment without the magic word doesn't count).
+    COUNTER.store(1, Ordering::SeqCst);
+}
+
+pub fn justified_same_line() -> u64 {
+    COUNTER.load(Ordering::Relaxed) // ordering: monotone stat counter, read for display only
+}
+
+pub fn justified_block_above() {
+    // ordering: publication is handled by the mutex this sits behind; the
+    // counter itself never synchronises anything.
+    COUNTER.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn waived() {
+    COUNTER.store(0, Ordering::SeqCst); // lint:allow(atomic-ordering-justified)
+}
+
+pub fn middle_strength_needs_no_ceremony() -> u64 {
+    COUNTER.load(Ordering::Acquire)
+}

@@ -1,0 +1,35 @@
+// Seeded fixture: `unsafe {` blocks and `unsafe impl` without a
+// `// SAFETY:` comment must be flagged; commented and waived ones not.
+
+pub struct Raw(pub *mut u8);
+
+pub fn bad_block(p: &Raw) -> u8 {
+    // Exactly two reportable findings in this file: the block below...
+    unsafe { *p.0 }
+}
+
+// ...and this impl (the marker word is SAFETY, not "safe").
+unsafe impl Send for Raw {}
+
+pub fn commented_block(p: &Raw) -> u8 {
+    // SAFETY: caller guarantees `p.0` points at a live, aligned byte.
+    unsafe { *p.0 }
+}
+
+// SAFETY: Raw is a plain pointer wrapper; sharing requires external
+// synchronisation which every user of this fixture type provides.
+unsafe impl Sync for Raw {}
+
+pub fn waived_block(p: &Raw) -> u8 {
+    unsafe { *p.0 } // lint:allow(unsafe-needs-safety-comment)
+}
+
+/// An `unsafe fn` signature needs no SAFETY comment at the declaration —
+/// its contract lives in rustdoc, and each *call site* sits inside an
+/// `unsafe {` block that the rule does cover.
+///
+/// # Safety
+/// `p` must be valid for reads.
+pub unsafe fn unsafe_fn_decl_is_fine(p: *const u8) -> u8 {
+    *p
+}

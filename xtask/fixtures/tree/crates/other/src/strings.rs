@@ -1,0 +1,35 @@
+// Regression fixture for the false-positive surface the regex lint
+// generation had: every banned pattern below sits inside a string literal
+// or a comment, and this file must produce ZERO findings.
+//
+// In comments: use std::sync::Mutex; Ordering::Relaxed; Instant::now();
+// unsafe { }; .unwrap(); std::sync::atomic::AtomicU64; rec.begin(
+/* block comment too: std::sync::Condvar, Ordering::SeqCst, .expect( */
+
+pub fn doc_strings() -> Vec<String> {
+    vec![
+        "use std::sync::Mutex;".to_string(),
+        "std::sync::RwLock<u64>".to_string(),
+        "Ordering::Relaxed".to_string(),
+        "Ordering::SeqCst with no justification".to_string(),
+        "Instant::now()".to_string(),
+        "std::time::SystemTime::now()".to_string(),
+        "unsafe { *p }".to_string(),
+        ".unwrap() and .expect(".to_string(),
+        "std::sync::atomic::AtomicU64".to_string(),
+        "span.begin( but never .end".to_string(),
+        r#"raw: std::sync::Condvar::new().unwrap()"#.to_string(),
+    ]
+}
+
+pub fn tricky_tokens() -> char {
+    // A char literal and a lifetime must not derail the lexer into
+    // swallowing the rest of the file as a "string".
+    let quote = '"';
+    let escaped = '\'';
+    if quote == escaped {
+        quote
+    } else {
+        escaped
+    }
+}

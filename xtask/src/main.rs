@@ -1,11 +1,22 @@
 //! Repo automation.
 //!
 //! ```text
-//! cargo xtask lint [--root PATH]
+//! cargo xtask lint [--root PATH] [--format human|json]
+//! cargo xtask modelcheck [--seed-bug all] [--filter NAME]
 //! cargo xtask crashcheck [crashcheck args...]
 //! cargo xtask chaos [chaos args...]
 //! cargo xtask perfline [perfline args...]
 //! ```
+//!
+//! `lint` is a token-based static pass over the workspace sources
+//! enforcing repo-specific rules that rustc/clippy cannot express — see
+//! `lint.rs` for the rule catalogue. `--format json` emits machine-readable
+//! findings (`rule`/`file`/`line`/`snippet`) for editor and CI tooling.
+//!
+//! `modelcheck` builds and runs the schedule-exploration models under
+//! `RUSTFLAGS="--cfg modelcheck"` — see `modelcheck.rs`. CI runs both the
+//! clean sweep and `--seed-bug all` (every planted concurrency bug must be
+//! detected).
 //!
 //! `crashcheck` builds and runs the crash-consistency sweep
 //! (`papyrus-crashcheck`) in release mode, forwarding its arguments — see
@@ -20,64 +31,32 @@
 //! (`papyrus-perfline`) in release mode, forwarding its arguments — see
 //! `cargo xtask perfline --help`. CI runs the regression gate against the
 //! committed `BENCH_baseline.json` plus the `--seed-bug all` self-test.
-//!
-//! `lint` is a plain-text, AST-lite pass over the workspace sources
-//! enforcing repo-specific rules that rustc/clippy cannot express:
-//!
-//! - **std-sync-lock** — no `std::sync::{Mutex, RwLock, Condvar}` outside
-//!   `compat/` (the parking_lot shim wraps them and feeds the sanity
-//!   lock-order detector; a raw std lock is invisible to it). Carve-outs:
-//!   `crates/sanity` (the detector cannot be built on the primitives it
-//!   checks) and this crate.
-//! - **protocol-unwrap** — no `.unwrap()` / `.expect(` in protocol-handler
-//!   paths (`crates/mpi/src/fabric.rs`, `crates/core/src/db.rs`,
-//!   `crates/core/src/runtime.rs`): a panic inside a dispatcher/handler
-//!   thread deadlocks the ranks blocked on it instead of failing loudly.
-//!   Test modules (after `#[cfg(test)]`) are exempt.
-//! - **recovery-unwrap** — no `.unwrap()` / `.expect(` on recovery paths
-//!   (`crates/core/src/ckpt.rs`: manifest parsing, restart): recovery runs
-//!   against arbitrary crash debris, and a rank that panics while its peers
-//!   proceed to a collective hangs the job. Recovery must
-//!   report-and-tolerate instead. Test modules are exempt.
-//! - **real-time** — no `std::time::{Instant, SystemTime}` under `crates/`
-//!   outside `crates/simtime`: all timing must flow through virtual SimNs
-//!   clocks or results become wall-clock dependent.
-//! - **tel-span-balance** — per file, every telemetry span opened with
-//!   `.begin(` is closed with `.end(` (count parity): an unclosed pending
-//!   span silently drops the event at trace export.
-//!
-//! Lines whose trimmed form starts with `//` are skipped; a finding on a
-//! specific line can be waived with a trailing `// lint:allow(<rule>)`.
-//! Exit status is non-zero iff findings remain.
 
-use std::fs;
+mod lexer;
+mod lint;
+mod modelcheck;
+
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-
-/// One lint finding.
-#[derive(Debug)]
-struct Finding {
-    rule: &'static str,
-    path: String,
-    line: usize,
-    text: String,
-}
-
-impl Finding {
-    fn render(&self) -> String {
-        format!("{}:{}: [{}] {}", self.path, self.line, self.rule, self.text.trim())
-    }
-}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => {
             let mut root: Option<PathBuf> = None;
+            let mut format = Format::Human;
             let mut it = args.iter().skip(1);
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--root" => root = it.next().map(PathBuf::from),
+                    "--format" => match it.next().map(String::as_str) {
+                        Some("human") => format = Format::Human,
+                        Some("json") => format = Format::Json,
+                        other => {
+                            eprintln!("xtask lint: --format takes human|json, got {other:?}");
+                            return ExitCode::FAILURE;
+                        }
+                    },
                     other => {
                         eprintln!("xtask lint: unknown argument `{other}`");
                         return ExitCode::FAILURE;
@@ -85,72 +64,47 @@ fn main() -> ExitCode {
                 }
             }
             let root = root.unwrap_or_else(workspace_root);
-            let findings = run_lint(&root);
-            for f in &findings {
-                println!("{}", f.render());
+            let findings = lint::run_lint(&root);
+            match format {
+                Format::Json => println!("{}", lint::render_json(&findings)),
+                Format::Human => {
+                    for f in &findings {
+                        println!("{}", f.render());
+                    }
+                    if findings.is_empty() {
+                        println!("xtask lint: clean");
+                    } else {
+                        println!("xtask lint: {} finding(s)", findings.len());
+                    }
+                }
             }
             if findings.is_empty() {
-                println!("xtask lint: clean");
                 ExitCode::SUCCESS
             } else {
-                println!("xtask lint: {} finding(s)", findings.len());
                 ExitCode::FAILURE
             }
         }
+        Some("modelcheck") => modelcheck::run(&args[1..]),
         Some("crashcheck") => {
             // Release build: the sweep spins up thousands of recovery
             // worlds; debug mode is needlessly slow for CI.
-            let status = std::process::Command::new(env!("CARGO"))
-                .current_dir(workspace_root())
-                .args(["run", "--release", "-p", "papyrus-crashcheck", "--bin", "crashcheck", "--"])
-                .args(&args[1..])
-                .status();
-            match status {
-                Ok(s) if s.success() => ExitCode::SUCCESS,
-                Ok(_) => ExitCode::FAILURE,
-                Err(e) => {
-                    eprintln!("xtask crashcheck: failed to run cargo: {e}");
-                    ExitCode::FAILURE
-                }
-            }
+            forward_run("crashcheck", "papyrus-crashcheck", "crashcheck", &args[1..])
         }
         Some("chaos") => {
             // Release build: a sweep runs dozens of multi-rank worlds; debug
             // mode is needlessly slow for CI.
-            let status = std::process::Command::new(env!("CARGO"))
-                .current_dir(workspace_root())
-                .args(["run", "--release", "-p", "papyrus-chaos", "--bin", "chaos", "--"])
-                .args(&args[1..])
-                .status();
-            match status {
-                Ok(s) if s.success() => ExitCode::SUCCESS,
-                Ok(_) => ExitCode::FAILURE,
-                Err(e) => {
-                    eprintln!("xtask chaos: failed to run cargo: {e}");
-                    ExitCode::FAILURE
-                }
-            }
+            forward_run("chaos", "papyrus-chaos", "chaos", &args[1..])
         }
         Some("perfline") => {
             // Release build: the suite measures the engine; debug-mode
             // numbers would gate against a different codepath cost model.
-            let status = std::process::Command::new(env!("CARGO"))
-                .current_dir(workspace_root())
-                .args(["run", "--release", "-p", "papyrus-perfline", "--bin", "perfline", "--"])
-                .args(&args[1..])
-                .status();
-            match status {
-                Ok(s) if s.success() => ExitCode::SUCCESS,
-                Ok(_) => ExitCode::FAILURE,
-                Err(e) => {
-                    eprintln!("xtask perfline: failed to run cargo: {e}");
-                    ExitCode::FAILURE
-                }
-            }
+            forward_run("perfline", "papyrus-perfline", "perfline", &args[1..])
         }
         _ => {
             eprintln!(
-                "usage: cargo xtask lint [--root PATH] | cargo xtask crashcheck [args...] \
+                "usage: cargo xtask lint [--root PATH] [--format human|json] \
+                 | cargo xtask modelcheck [--seed-bug all] [--filter NAME] \
+                 | cargo xtask crashcheck [args...] \
                  | cargo xtask chaos [args...] | cargo xtask perfline [args...]"
             );
             ExitCode::FAILURE
@@ -158,243 +112,30 @@ fn main() -> ExitCode {
     }
 }
 
+enum Format {
+    Human,
+    Json,
+}
+
+/// `cargo run --release -p <pkg> --bin <bin> -- <args...>`, exit status
+/// forwarded.
+fn forward_run(name: &str, pkg: &str, bin: &str, rest: &[String]) -> ExitCode {
+    let status = std::process::Command::new(env!("CARGO"))
+        .current_dir(workspace_root())
+        .args(["run", "--release", "-p", pkg, "--bin", bin, "--"])
+        .args(rest)
+        .status();
+    match status {
+        Ok(s) if s.success() => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("xtask {name}: failed to run cargo: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// The workspace root: parent of this crate's manifest dir.
-fn workspace_root() -> PathBuf {
+pub fn workspace_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).parent().expect("xtask has a parent dir").to_path_buf()
-}
-
-/// Run every rule over all `.rs` files under `root`; returns the findings.
-fn run_lint(root: &Path) -> Vec<Finding> {
-    let mut files = Vec::new();
-    collect_rs_files(root, root, &mut files);
-    files.sort();
-    let mut findings = Vec::new();
-    for rel in &files {
-        let Ok(source) = fs::read_to_string(root.join(rel)) else { continue };
-        let rel_str = rel.to_string_lossy().replace('\\', "/");
-        lint_file(&rel_str, &source, &mut findings);
-    }
-    findings
-}
-
-/// Recursively gather `.rs` files, paths relative to `root`. Skips build
-/// output, VCS metadata, lint fixtures, and the `xtask` crate itself (its
-/// source spells out the patterns it searches for).
-fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = fs::read_dir(dir) else { return };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if path.is_dir() {
-            if matches!(name.as_ref(), "target" | ".git" | "fixtures" | "xtask") {
-                continue;
-            }
-            collect_rs_files(root, &path, out);
-        } else if name.ends_with(".rs") {
-            if let Ok(rel) = path.strip_prefix(root) {
-                out.push(rel.to_path_buf());
-            }
-        }
-    }
-}
-
-/// Files where `.unwrap()` / `.expect(` would panic inside a protocol
-/// dispatcher/handler thread (or while decoding a wire message another
-/// rank's retry loop will resend).
-const PROTOCOL_PATHS: &[&str] = &[
-    "crates/mpi/src/fabric.rs",
-    "crates/core/src/db.rs",
-    "crates/core/src/runtime.rs",
-    "crates/core/src/msg.rs",
-];
-
-/// Recovery-path files that must tolerate arbitrary crash debris: a panic
-/// here strands the peer ranks at the next collective.
-const RECOVERY_PATHS: &[&str] = &["crates/core/src/ckpt.rs"];
-
-fn lint_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
-    let std_sync_applies = !(rel.starts_with("compat/")
-        || rel.starts_with("crates/sanity/")
-        || rel.starts_with("xtask/"));
-    let protocol_applies = PROTOCOL_PATHS.contains(&rel);
-    let recovery_applies = RECOVERY_PATHS.contains(&rel);
-    let real_time_applies = rel.starts_with("crates/") && !rel.starts_with("crates/simtime/");
-
-    let mut in_tests = false;
-    let mut begin_count = 0usize;
-    let mut end_count = 0usize;
-    let mut first_begin_line = 0usize;
-
-    for (idx, line) in source.lines().enumerate() {
-        let lineno = idx + 1;
-        let trimmed = line.trim_start();
-        if trimmed.starts_with("//") {
-            continue;
-        }
-        if trimmed.contains("#[cfg(test)]") {
-            in_tests = true;
-        }
-
-        // Span parity is counted across the whole file, comments excluded.
-        let b = count_matches(line, ".begin(");
-        if b > 0 && first_begin_line == 0 {
-            first_begin_line = lineno;
-        }
-        begin_count += b;
-        end_count += count_matches(line, ".end(");
-
-        if std_sync_applies
-            && !allowed(line, "std-sync-lock")
-            && (line.contains("std::sync::Mutex")
-                || line.contains("std::sync::RwLock")
-                || line.contains("std::sync::Condvar")
-                || (line.contains("use std::sync::")
-                    && !line.contains("std::sync::atomic")
-                    && (line.contains("Mutex")
-                        || line.contains("RwLock")
-                        || line.contains("Condvar"))))
-        {
-            findings.push(Finding {
-                rule: "std-sync-lock",
-                path: rel.into(),
-                line: lineno,
-                text: line.into(),
-            });
-        }
-
-        if protocol_applies
-            && !in_tests
-            && !allowed(line, "protocol-unwrap")
-            && (line.contains(".unwrap()") || line.contains(".expect("))
-        {
-            findings.push(Finding {
-                rule: "protocol-unwrap",
-                path: rel.into(),
-                line: lineno,
-                text: line.into(),
-            });
-        }
-
-        if recovery_applies
-            && !in_tests
-            && !allowed(line, "recovery-unwrap")
-            && (line.contains(".unwrap()") || line.contains(".expect("))
-        {
-            findings.push(Finding {
-                rule: "recovery-unwrap",
-                path: rel.into(),
-                line: lineno,
-                text: line.into(),
-            });
-        }
-
-        if real_time_applies
-            && !allowed(line, "real-time")
-            && (line.contains("std::time::Instant")
-                || line.contains("std::time::SystemTime")
-                || line.contains("Instant::now(")
-                || line.contains("SystemTime::now(")
-                || (line.contains("use std::time::")
-                    && (line.contains("Instant") || line.contains("SystemTime"))))
-        {
-            findings.push(Finding {
-                rule: "real-time",
-                path: rel.into(),
-                line: lineno,
-                text: line.into(),
-            });
-        }
-    }
-
-    if begin_count != end_count && !allowed(source, "tel-span-balance") {
-        findings.push(Finding {
-            rule: "tel-span-balance",
-            path: rel.into(),
-            line: first_begin_line.max(1),
-            text: format!("{begin_count} span .begin( calls vs {end_count} .end( calls"),
-        });
-    }
-}
-
-fn allowed(haystack: &str, rule: &str) -> bool {
-    haystack.contains(&format!("lint:allow({rule})"))
-}
-
-fn count_matches(line: &str, needle: &str) -> usize {
-    line.match_indices(needle).count()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn fixture_root() -> PathBuf {
-        Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/tree")
-    }
-
-    fn rules_hit(findings: &[Finding]) -> Vec<&'static str> {
-        let mut rules: Vec<&'static str> = findings.iter().map(|f| f.rule).collect();
-        rules.sort();
-        rules.dedup();
-        rules
-    }
-
-    #[test]
-    fn fixture_tree_trips_every_rule() {
-        let findings = run_lint(&fixture_root());
-        let rules = rules_hit(&findings);
-        assert_eq!(
-            rules,
-            vec![
-                "protocol-unwrap",
-                "real-time",
-                "recovery-unwrap",
-                "std-sync-lock",
-                "tel-span-balance"
-            ],
-            "findings: {:#?}",
-            findings
-        );
-    }
-
-    #[test]
-    fn fixture_findings_point_at_seeded_lines() {
-        let findings = run_lint(&fixture_root());
-        assert!(findings
-            .iter()
-            .any(|f| f.rule == "std-sync-lock" && f.path == "crates/core/src/bad_sync.rs"));
-        assert!(findings
-            .iter()
-            .any(|f| f.rule == "protocol-unwrap" && f.path == "crates/mpi/src/fabric.rs"));
-        assert!(findings
-            .iter()
-            .any(|f| f.rule == "protocol-unwrap" && f.path == "crates/core/src/msg.rs"));
-        // The fixture fabric and msg files also have an .unwrap() under
-        // #[cfg(test)] and a lint:allow'd one — none of those may be
-        // reported: exactly one finding per file.
-        assert_eq!(
-            findings.iter().filter(|f| f.rule == "protocol-unwrap").count(),
-            2,
-            "{:#?}",
-            findings
-        );
-        // Same exemptions for the recovery-path rule: its fixture seeds one
-        // reportable unwrap plus a waived .expect( and a test-module one.
-        assert_eq!(
-            findings.iter().filter(|f| f.rule == "recovery-unwrap").count(),
-            1,
-            "{:#?}",
-            findings
-        );
-        assert!(findings
-            .iter()
-            .any(|f| f.rule == "recovery-unwrap" && f.path == "crates/core/src/ckpt.rs"));
-    }
-
-    #[test]
-    fn real_tree_is_clean() {
-        let findings = run_lint(&workspace_root());
-        assert!(findings.is_empty(), "lint findings in tree:\n{:#?}", findings);
-    }
 }

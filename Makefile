@@ -14,10 +14,13 @@ fmt:
 clippy:
 	cargo clippy --workspace --all-targets -- -D warnings
 
-# Protocol lint: repo-specific static checks (lock discipline, protocol
-# hygiene) over the source tree. Blocking in CI.
+# Protocol lint: the eight token rules plus the four interprocedural deep
+# analyses (panic-reachability, blocking-under-lock, tag matrix, atomic
+# pairing), then the seed-bug self-test (every planted violation must be
+# convicted). Blocking in CI.
 lint:
-	cargo xtask lint
+	cargo xtask lint --deep
+	cargo xtask lint --seed-bug all
 
 # Full test suite with the runtime sanity layer armed: lock-order checking,
 # MPI happens-before / protocol monitoring, deadlock detection.

@@ -80,7 +80,7 @@ impl Bloom {
             return None;
         }
         let bits =
-            body.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
+            body.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect(); // lint:allow(panic-path): chunks_exact(8) yields exactly-8-byte chunks
         Some(Self { bits, m, k })
     }
 

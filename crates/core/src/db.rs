@@ -759,7 +759,7 @@ pub(crate) fn apply_replica_records(
             stack.mem.insert(&r.key, entry);
         }
         if stack.mem.bytes() >= db.opt.memtable_capacity {
-            flush_replica_stack(ctx, db, origin, stack, &clk);
+            flush_replica_stack(ctx, db, origin, stack, &clk); // lint:allow(blocking-under-lock): flush must stay atomic with ingest — `stack` borrows from the `repl` map, and readers must never observe the memtable/SSTable gap
         }
     }
     let done = clk.now();
@@ -1277,21 +1277,24 @@ fn search_peer_ssts(
 ) -> Lookup {
     let store = ctx.repo_store_for(owner);
     for &ssid in ssids_desc {
-        let reader = {
-            let mut cache = db.peer_readers.lock();
-            match cache.get(&(owner, ssid)) {
-                Some(r) => r.clone(),
-                None => {
-                    let base = sstable::sst_base(&ctx.repo.prefix, &db.name, owner, ssid);
-                    match SstReader::open_at(&store, &base, ssid, clock.now()) {
-                        Some((r, done)) => {
-                            clock.merge(done);
-                            cache.insert((owner, ssid), r.clone());
-                            r
-                        }
-                        // Deleted by the owner's compaction meanwhile: skip.
-                        None => continue,
+        // Probe the cache, then open OUTSIDE the lock: `open_at` is charged
+        // NVM I/O, and holding `peer_readers` across it would serialise
+        // every cross-rank read behind one device stall. Two threads may
+        // race to open the same SSTable; the loser's insert overwrites an
+        // identical reader.
+        let cached = db.peer_readers.lock().get(&(owner, ssid)).cloned();
+        let reader = match cached {
+            Some(r) => r,
+            None => {
+                let base = sstable::sst_base(&ctx.repo.prefix, &db.name, owner, ssid);
+                match SstReader::open_at(&store, &base, ssid, clock.now()) {
+                    Some((r, done)) => {
+                        clock.merge(done);
+                        db.peer_readers.lock().insert((owner, ssid), r.clone());
+                        r
                     }
+                    // Deleted by the owner's compaction meanwhile: skip.
+                    None => continue,
                 }
             }
         };

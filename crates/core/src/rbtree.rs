@@ -453,6 +453,7 @@ impl<'a, V> Iterator for Iter<'a, V> {
         let i = self.next;
         self.next = self.tree.successor(i);
         let n = self.tree.n(i);
+        // lint:allow(panic-path): iterator only visits live nodes, which always hold a value
         Some((n.key.as_slice(), n.val.as_ref().expect("live node without value")))
     }
 }

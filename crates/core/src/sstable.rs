@@ -193,7 +193,7 @@ impl SstReader {
         }
         let offsets = index_bytes[8..]
             .chunks_exact(8)
-            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap())) // lint:allow(panic-path): chunks_exact(8) yields exactly-8-byte chunks
             .collect();
         let data_len = store.len(&data_path)?;
         Some((
@@ -244,8 +244,8 @@ impl SstReader {
         if header.len() < RECORD_HEADER as usize {
             return None;
         }
-        let keylen = u32::from_le_bytes(header[0..4].try_into().unwrap()) as u64;
-        let vallen = u32::from_le_bytes(header[4..8].try_into().unwrap()) as u64;
+        let keylen = u32::from_le_bytes(header[0..4].try_into().ok()?) as u64;
+        let vallen = u32::from_le_bytes(header[4..8].try_into().ok()?) as u64;
         let tomb = header[8] != 0;
         let key = backend.get(&data_path, off + RECORD_HEADER, keylen)?;
         let value = backend.get(&data_path, off + RECORD_HEADER + keylen, vallen)?;
@@ -331,8 +331,13 @@ impl SstReader {
         let mut out = Vec::with_capacity(self.offsets.len());
         let mut pos = 0usize;
         while pos + RECORD_HEADER as usize <= data.len() {
-            let keylen = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
-            let vallen = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap()) as usize;
+            let (keylen, vallen) =
+                match (data[pos..pos + 4].try_into(), data[pos + 4..pos + 8].try_into()) {
+                    (Ok(k), Ok(v)) => {
+                        (u32::from_le_bytes(k) as usize, u32::from_le_bytes(v) as usize)
+                    }
+                    _ => return Err(Error::Internal(format!("corrupt SSData: {data_path}"))),
+                };
             let tomb = data[pos + 8] != 0;
             pos += RECORD_HEADER as usize;
             if pos + keylen + vallen > data.len() {

@@ -1,0 +1,23 @@
+//! Callgraph fixture: cross-crate calls, ambiguity, recursion.
+
+pub fn entry() {
+    local_helper();
+    beta::beta_helper();
+    // Ambiguous: `shared` is a free fn in alpha/util.rs AND beta/lib.rs,
+    // and neither lives in this file — the resolver must link both and
+    // record the ambiguity.
+    shared(1);
+    recurse(3);
+    let w = Widget::new();
+    // Trait-method ambiguity: `poke` has an inherent impl on Widget, a
+    // trait declaration, and a trait impl for Widget2.
+    w.poke();
+}
+
+fn local_helper() {}
+
+pub fn recurse(n: u32) {
+    if n > 0 {
+        recurse(n - 1);
+    }
+}

@@ -1,0 +1,4 @@
+/// Same name and arity as `beta::shared` — ambiguity fodder.
+pub fn shared(n: u32) -> u32 {
+    n * 2
+}

@@ -1,0 +1,44 @@
+//! Callgraph fixture, crate two.
+
+pub fn beta_helper() {
+    // Bare call with a same-file definition: narrows to beta's `shared`,
+    // NOT ambiguous.
+    shared(2);
+    leaf();
+}
+
+pub fn shared(n: u32) -> u32 {
+    n + 1
+}
+
+pub fn leaf() {}
+
+pub struct Widget;
+
+impl Widget {
+    pub fn new() -> Widget {
+        Widget
+    }
+
+    pub fn poke(&self) {
+        leaf();
+    }
+}
+
+pub struct Widget2;
+
+pub trait Gadget {
+    fn poke(&self);
+}
+
+impl Gadget for Widget2 {
+    fn poke(&self) {
+        leaf();
+    }
+}
+
+impl Widget2 {
+    pub fn new() -> Widget2 {
+        Widget2
+    }
+}

@@ -1,0 +1,69 @@
+//! Deep fixture: blocking-under-lock positives and the lexical-guard
+//! negatives the analysis must NOT trip on.
+
+pub struct Db {
+    pub state: RwLock<u32>,
+    pub inner: Mutex<Vec<u8>>,
+}
+
+pub fn direct_block(db: &Db, f: &crate::fabric::Fabric) {
+    let g = db.inner.lock();
+    // Bound guard live: direct call to the fabric primitive — finding.
+    f.recv(0);
+    drop(g);
+}
+
+pub fn transitive_block(db: &Db, f: &crate::fabric::Fabric) {
+    let g = db.inner.lock();
+    // Guard live across a local fn that reaches recv two hops down —
+    // finding with a trace.
+    relay(f);
+    drop(g);
+}
+
+pub fn sleep_block(db: &Db) {
+    let g = db.inner.lock();
+    // thread::sleep under a live guard — finding.
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    drop(g);
+}
+
+pub fn scrutinee_block(db: &Db, f: &crate::fabric::Fabric) {
+    // `match` scrutinee temporary lives through the block — finding.
+    match *db.state.read() {
+        0 => f.recv(0),
+        _ => {}
+    }
+}
+
+pub fn deref_copy_then_block(db: &Db, f: &crate::fabric::Fabric) {
+    // `*...read()` copies the value; the guard is a statement temporary
+    // that dies at the `;` — the recv below is NOT under it. Clean.
+    let state = *db.state.read();
+    if state > 0 {
+        f.recv(0);
+    }
+}
+
+pub fn drop_then_block(db: &Db, f: &crate::fabric::Fabric) {
+    let g = db.inner.lock();
+    drop(g);
+    // Guard explicitly dropped first. Clean.
+    f.recv(0);
+}
+
+pub fn if_condition_then_block(db: &Db, f: &crate::fabric::Fabric) {
+    // A plain-`if` condition temporary drops before the block runs
+    // (unlike a match scrutinee). Clean.
+    if *db.state.read() > 0 {
+        f.recv(0);
+    }
+}
+
+fn relay(f: &crate::fabric::Fabric) {
+    relay_inner(f);
+}
+
+fn relay_inner(f: &crate::fabric::Fabric) {
+    f.recv(1);
+}

@@ -1,0 +1,42 @@
+//! Deep fixture: atomic pairing — one clean field per shape that must
+//! stay silent, one field per finding kind.
+
+use std::sync::atomic::{AtomicPtr, AtomicU32, Ordering};
+
+pub struct Flags {
+    /// Release store + Acquire load — paired, clean.
+    ready: AtomicU32,
+    /// Release store, every load Relaxed — unpaired-release finding.
+    orphan: AtomicU32,
+    /// Acquire load, every store Relaxed — acquire-from-nothing finding.
+    lonely: AtomicU32,
+    /// AtomicPtr published with Relaxed — publication finding.
+    hot: AtomicPtr<u8>,
+    /// Only an AcqRel RMW: both sides of the pair live in one op — clean.
+    cnt: AtomicU32,
+}
+
+impl Flags {
+    pub fn ok(&self) -> u32 {
+        self.ready.store(1, Ordering::Release);
+        self.ready.load(Ordering::Acquire)
+    }
+
+    pub fn bad_release(&self) -> u32 {
+        self.orphan.store(1, Ordering::Release);
+        self.orphan.load(Ordering::Relaxed)
+    }
+
+    pub fn bad_acquire(&self) -> u32 {
+        self.lonely.store(1, Ordering::Relaxed);
+        self.lonely.load(Ordering::Acquire)
+    }
+
+    pub fn bad_ptr(&self, p: *mut u8) {
+        self.hot.store(p, Ordering::Relaxed);
+    }
+
+    pub fn rmw_only(&self) -> u32 {
+        self.cnt.fetch_add(1, Ordering::AcqRel)
+    }
+}

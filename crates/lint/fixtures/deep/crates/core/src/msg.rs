@@ -1,0 +1,25 @@
+//! Deep fixture: tag declarations (one of each matrix outcome) plus a
+//! protocol entry file for the panic analysis.
+
+pub mod tags {
+    /// Sent by `send_put` and handled by `dispatch` — clean.
+    pub const PUT: u32 = 1;
+    /// Sent by `send_put`, no handler arm — sent-but-unhandled.
+    pub const GET: u32 = 2;
+    /// Handler arm in `dispatch`, no send site — handled-but-never-sent.
+    pub const ACK: u32 = 3;
+    /// Same value as ACK — duplicate-tag-value (and itself never used).
+    pub const ACK_ALIAS: u32 = 3;
+    /// Declared and never referenced anywhere — declared-but-never-used.
+    pub const SPARE: u32 = 9;
+}
+
+pub fn decode(b: &[u8]) -> u64 {
+    // Raw indexing in an entry file — one panic-path finding.
+    u64::from(b[0])
+}
+
+pub fn decode_checked(b: &[u8]) -> u64 {
+    // Waived: the justification comment suppresses the finding.
+    u64::from(b[1]) // lint:allow(panic-path): fixture waiver — callers validate length
+}

@@ -1,0 +1,22 @@
+//! Deep fixture: protocol entry points. The `pub` fns here seed the
+//! panic-reachability sweep and host the tag send/handle sites.
+
+use crate::msg::tags;
+
+pub fn dispatch(f: &crate::fabric::Fabric, tag: u32, buf: &[u8]) {
+    match tag {
+        tags::PUT => handle_put(f, buf),
+        tags::ACK => {}
+        _ => {}
+    }
+}
+
+pub fn send_put(f: &crate::fabric::Fabric) {
+    f.send(0, tags::PUT, b"x");
+    f.send(0, tags::GET, b"y");
+}
+
+fn handle_put(_f: &crate::fabric::Fabric, buf: &[u8]) {
+    // Transitive panic: reaches util::parse8's unwrap two hops down.
+    let _ = crate::util::parse8(buf);
+}

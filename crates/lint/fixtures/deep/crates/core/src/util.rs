@@ -1,0 +1,14 @@
+//! Deep fixture: helpers below the entry points.
+
+pub fn parse8(b: &[u8]) -> u64 {
+    // Reachable from runtime::dispatch via handle_put — panic-path
+    // finding with a two-hop trace. The raw slice index is NOT flagged:
+    // raw indexing is only reported inside the entry files themselves.
+    u64::from_le_bytes(b[..8].try_into().unwrap())
+}
+
+pub fn orphan_unwrap(b: &[u8]) -> u8 {
+    // Same shape, but nothing reachable from an entry point calls this —
+    // must NOT be flagged.
+    *b.first().unwrap()
+}

@@ -1,0 +1,18 @@
+//! Deep fixture: the blocking primitive. This file IS the primitive
+//! implementation, so its own mailbox-mutex shape is excluded from guard
+//! scanning.
+
+pub struct Fabric {
+    mail: Mutex<Vec<u32>>,
+}
+
+impl Fabric {
+    pub fn recv(&self, _from: usize) -> u32 {
+        // Internal guard around the blocking wait: must NOT be flagged —
+        // this file implements the primitive.
+        let mut q = self.mail.lock();
+        q.pop().unwrap_or(0)
+    }
+
+    pub fn send(&self, _to: usize, _tag: u32, _b: &[u8]) {}
+}

@@ -1,0 +1,214 @@
+//! Atomic pairing audit: every atomic field's operations are grouped by
+//! field name across the whole workspace and checked for release/acquire
+//! pairing.
+//!
+//! A `store(Release)` with no `load(Acquire)`-side partner anywhere
+//! publishes to nobody — either the ordering is an accident or the reader
+//! is missing its fence. Symmetrically, a `load(Acquire)` whose writers
+//! are all `Relaxed` synchronises with nothing. `AtomicPtr` published
+//! with `Relaxed` is the classic torn-publication bug: readers can see
+//! the pointer before the pointee's writes.
+//!
+//! RMW orderings decompose into (load side, store side):
+//! `AcqRel -> (Acquire, Release)`, `Acquire -> (Acquire, Relaxed)`,
+//! `Release -> (Relaxed, Release)`, `SeqCst -> (SeqCst, SeqCst)`.
+//!
+//! Grouping is by field name only (no type inference), so same-named
+//! fields on different structs merge — conservative, documented in
+//! DESIGN.md §14. Accepted sites carry `// lint:allow(atomic-pairing)`.
+
+use std::collections::HashMap;
+
+use crate::callgraph::Ws;
+use crate::lexer::TokKind;
+use crate::report::Finding;
+
+const RULE: &str = "atomic-pairing";
+
+const ATOMIC_TYPES: &[&str] = &[
+    "AtomicBool",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicIsize",
+    "AtomicPtr",
+];
+
+const OPS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum AtomicOrd {
+    Relaxed,
+    Acquire,
+    Release,
+    AcqRel,
+    SeqCst,
+}
+
+struct Op {
+    file: usize,
+    line: usize,
+    /// (load side, store side); `None` = the op has no such side.
+    load_side: Option<AtomicOrd>,
+    store_side: Option<AtomicOrd>,
+}
+
+pub fn run(ws: &Ws) -> Vec<Finding> {
+    let mut groups: HashMap<String, Vec<Op>> = HashMap::new();
+    let mut ptr_fields: Vec<String> = Vec::new();
+    for file in 0..ws.rels.len() {
+        let toks = &ws.lexed[file].tokens;
+        for i in 0..toks.len() {
+            // Field/static declarations: `name: AtomicXxx` (possibly with a
+            // path prefix before the type).
+            if toks[i].kind == TokKind::Ident && ATOMIC_TYPES.contains(&toks[i].text.as_str()) {
+                let mut j = i;
+                while j >= 3
+                    && toks[j - 1].text == ":"
+                    && toks[j - 2].text == ":"
+                    && toks[j - 3].kind == TokKind::Ident
+                {
+                    j -= 3;
+                }
+                if j >= 2 && toks[j - 1].text == ":" && toks[j - 2].kind == TokKind::Ident {
+                    let name = toks[j - 2].text.clone();
+                    if toks[i].text == "AtomicPtr" && !ptr_fields.contains(&name) {
+                        ptr_fields.push(name);
+                    }
+                }
+            }
+            // Operations: `<field> . op ( .. Ordering::X .. )`
+            if i >= 2
+                && toks[i - 1].text == "."
+                && toks[i - 2].kind == TokKind::Ident
+                && OPS.contains(&toks[i].text.as_str())
+                && toks.get(i + 1).is_some_and(|t| t.text == "(")
+            {
+                let field = toks[i - 2].text.clone();
+                let line = toks[i].line;
+                if ws.in_tests(file, line) {
+                    continue;
+                }
+                // First `Ordering::X` in the argument list is the success /
+                // primary ordering.
+                let mut depth = 0i32;
+                let mut ord = None;
+                for m in (i + 1)..toks.len() {
+                    match toks[m].text.as_str() {
+                        "(" => depth += 1,
+                        ")" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        "Ordering"
+                            if ord.is_none() && toks.get(m + 1).is_some_and(|t| t.text == ":") =>
+                        {
+                            ord = toks.get(m + 3).and_then(|t| parse_ord(&t.text));
+                        }
+                        _ => {}
+                    }
+                }
+                let Some(ord) = ord else { continue };
+                let (load_side, store_side) = sides(&toks[i].text, ord);
+                groups.entry(field).or_default().push(Op { file, line, load_side, store_side });
+            }
+        }
+    }
+    let mut findings = Vec::new();
+    let mut names: Vec<&String> = groups.keys().collect();
+    names.sort();
+    for name in names {
+        let ops = &groups[name];
+        let acquire_loads: Vec<&Op> = ops
+            .iter()
+            .filter(|o| matches!(o.load_side, Some(AtomicOrd::Acquire | AtomicOrd::SeqCst)))
+            .collect();
+        let release_stores: Vec<&Op> = ops
+            .iter()
+            .filter(|o| matches!(o.store_side, Some(AtomicOrd::Release | AtomicOrd::SeqCst)))
+            .collect();
+        let any_store: Vec<&Op> = ops.iter().filter(|o| o.store_side.is_some()).collect();
+        if !release_stores.is_empty() && acquire_loads.is_empty() {
+            let o = release_stores[0];
+            if !ws.allowed(o.file, o.line, RULE) {
+                findings.push(finding(ws, o, format!(
+                    "`{name}` is published with Release ordering but no Acquire-side load of `{name}` exists anywhere in the workspace"
+                )));
+            }
+        }
+        if !acquire_loads.is_empty() && !any_store.is_empty() && release_stores.is_empty() {
+            let o = acquire_loads[0];
+            if !ws.allowed(o.file, o.line, RULE) {
+                findings.push(finding(ws, o, format!(
+                    "`{name}` is loaded with Acquire ordering but every store to `{name}` is Relaxed — the acquire synchronises with nothing"
+                )));
+            }
+        }
+        if ptr_fields.contains(name) {
+            for o in &any_store {
+                if o.store_side == Some(AtomicOrd::Relaxed) && !ws.allowed(o.file, o.line, RULE) {
+                    findings.push(finding(ws, o, format!(
+                        "AtomicPtr field `{name}` is published with Relaxed ordering — readers can observe the pointer before the pointee"
+                    )));
+                }
+            }
+        }
+    }
+    findings
+}
+
+fn finding(ws: &Ws, o: &Op, text: String) -> Finding {
+    Finding {
+        rule: RULE,
+        path: ws.rels[o.file].clone(),
+        line: o.line,
+        text: format!("{text}: {}", ws.line_text(o.file, o.line).trim()),
+        trace: Vec::new(),
+    }
+}
+
+fn parse_ord(s: &str) -> Option<AtomicOrd> {
+    Some(match s {
+        "Relaxed" => AtomicOrd::Relaxed,
+        "Acquire" => AtomicOrd::Acquire,
+        "Release" => AtomicOrd::Release,
+        "AcqRel" => AtomicOrd::AcqRel,
+        "SeqCst" => AtomicOrd::SeqCst,
+        _ => return None,
+    })
+}
+
+/// Decompose an op + ordering into (load side, store side).
+fn sides(op: &str, ord: AtomicOrd) -> (Option<AtomicOrd>, Option<AtomicOrd>) {
+    match op {
+        "load" => (Some(ord), None),
+        "store" => (None, Some(ord)),
+        _ => match ord {
+            AtomicOrd::AcqRel => (Some(AtomicOrd::Acquire), Some(AtomicOrd::Release)),
+            AtomicOrd::Acquire => (Some(AtomicOrd::Acquire), Some(AtomicOrd::Relaxed)),
+            AtomicOrd::Release => (Some(AtomicOrd::Relaxed), Some(AtomicOrd::Release)),
+            AtomicOrd::SeqCst => (Some(AtomicOrd::SeqCst), Some(AtomicOrd::SeqCst)),
+            AtomicOrd::Relaxed => (Some(AtomicOrd::Relaxed), Some(AtomicOrd::Relaxed)),
+        },
+    }
+}

@@ -1,0 +1,101 @@
+//! Panic-reachability: `unwrap`/`expect`/`panic!`-family sites (plus raw
+//! indexing in the entry files themselves) that the call graph can reach
+//! from a protocol or recovery entry point.
+//!
+//! Entry points are the `pub` fns of `runtime.rs`, `msg.rs`, and `ckpt.rs`
+//! — the surfaces another rank's dispatcher, retry loop, or restart path
+//! drives. A panic anywhere below them turns into a hung collective on
+//! every peer, so each finding carries the full call path that makes the
+//! site reachable.
+//!
+//! False-positive policy (DESIGN.md §14): `assert!`/`debug_assert!` are
+//! deliberate invariant enforcement and are not flagged; raw indexing is
+//! only flagged inside the entry files themselves (elsewhere the idiom is
+//! length-guarded slice math and flagging it all would bury the signal);
+//! accepted sites carry `// lint:allow(panic-path)` with a one-line
+//! justification.
+
+use crate::callgraph::{CallGraph, Ws};
+use crate::lexer::TokKind;
+use crate::report::Finding;
+use crate::rules::seq_at;
+
+const RULE: &str = "panic-path";
+
+/// Entry-point files: their `pub` fns seed the reachability sweep.
+const ENTRY_PATHS: &[&str] =
+    &["crates/core/src/runtime.rs", "crates/core/src/msg.rs", "crates/core/src/ckpt.rs"];
+
+pub fn run(ws: &Ws, cg: &CallGraph) -> Vec<Finding> {
+    let entries: Vec<usize> = ws
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| {
+            f.is_pub && !f.is_test && ENTRY_PATHS.iter().any(|p| ws.rels[f.file].ends_with(p))
+        })
+        .map(|(i, _)| i)
+        .collect();
+    if entries.is_empty() {
+        return Vec::new();
+    }
+    let (visited, parent) = cg.reach(&entries);
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut seen: Vec<(usize, usize)> = Vec::new(); // (file, line) dedup across nested fns
+    for (fi, item) in ws.fns.iter().enumerate() {
+        if !visited[fi] || item.is_test || item.body.is_empty() {
+            continue;
+        }
+        let file = item.file;
+        let toks = &ws.lexed[file].tokens;
+        let entry_file = ENTRY_PATHS.iter().any(|p| ws.rels[file].ends_with(p));
+        for i in item.body.clone() {
+            let what = if seq_at(toks, i, &[".", "unwrap", "(", ")"]) {
+                Some("`.unwrap()`")
+            } else if seq_at(toks, i, &[".", "expect", "("]) {
+                Some("`.expect(..)`")
+            } else if toks.get(i + 1).is_some_and(|t| t.text == "!")
+                && matches!(
+                    toks[i].text.as_str(),
+                    "panic" | "unreachable" | "todo" | "unimplemented"
+                )
+                && toks[i].kind == TokKind::Ident
+            {
+                Some("panic-family macro")
+            } else if entry_file
+                && toks[i].text == "["
+                && i > 0
+                && (toks[i - 1].kind == TokKind::Ident
+                    || toks[i - 1].text == ")"
+                    || toks[i - 1].text == "]")
+                && !crate::parse::is_call_keyword(&toks[i - 1].text)
+            {
+                Some("raw indexing")
+            } else {
+                None
+            };
+            let Some(what) = what else { continue };
+            let line = toks[i].line;
+            if ws.in_tests(file, line)
+                || ws.allowed(file, line, RULE)
+                || seen.contains(&(file, line))
+            {
+                continue;
+            }
+            seen.push((file, line));
+            let trace: Vec<String> =
+                CallGraph::path_to(&parent, fi).iter().map(|&f| ws.fn_label(f)).collect();
+            findings.push(Finding {
+                rule: RULE,
+                path: ws.rels[file].clone(),
+                line,
+                text: format!(
+                    "{what} reachable from protocol/recovery entry: {}",
+                    ws.line_text(file, line).trim()
+                ),
+                trace,
+            });
+        }
+    }
+    findings
+}

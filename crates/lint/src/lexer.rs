@@ -192,7 +192,14 @@ fn scan_string(b: &[u8], mut i: usize, _hashes: usize) -> (usize, usize) {
     let mut nl = 0;
     while i < b.len() {
         match b[i] {
-            b'\\' => i += 2,
+            // An escape skips the next byte — which may be the newline of a
+            // `\`-line-continuation, still a real source line.
+            b'\\' => {
+                if b.get(i + 1) == Some(&b'\n') {
+                    nl += 1;
+                }
+                i += 2;
+            }
             b'\n' => {
                 nl += 1;
                 i += 1;
@@ -311,6 +318,16 @@ mod tests {
         let lx = lex(src);
         let t = lx.tokens.iter().find(|t| t.text == "t").expect("t token");
         assert_eq!(t.line, 4);
+    }
+
+    #[test]
+    fn line_continuation_in_string_advances_line_numbers() {
+        // `\` at end of line inside a cooked string: the newline is escaped
+        // away from the *value* but is still a source line.
+        let src = "let s = \"a \\\n   b\";\nlet t = 1;";
+        let lx = lex(src);
+        let t = lx.tokens.iter().find(|t| t.text == "t").expect("t token");
+        assert_eq!(t.line, 3);
     }
 
     #[test]

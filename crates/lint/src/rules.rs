@@ -1,4 +1,4 @@
-//! Token-based source lint.
+//! Token-based file-local rules.
 //!
 //! Rules the repo enforces that rustc/clippy cannot express. All matching
 //! runs over the lexed token stream from [`crate::lexer`], so banned
@@ -42,74 +42,15 @@
 //! A finding on a specific line can be waived with a trailing
 //! `// lint:allow(<rule>)` comment.
 
-use std::fs;
-use std::path::{Path, PathBuf};
-
 use crate::lexer::{lex, Lexed, Tok, TokKind};
-
-/// One lint finding.
-#[derive(Debug)]
-pub struct Finding {
-    pub rule: &'static str,
-    pub path: String,
-    pub line: usize,
-    pub text: String,
-}
-
-impl Finding {
-    pub fn render(&self) -> String {
-        format!("{}:{}: [{}] {}", self.path, self.line, self.rule, self.text.trim())
-    }
-
-    fn json(&self) -> String {
-        format!(
-            r#"{{"rule":{},"file":{},"line":{},"snippet":{}}}"#,
-            json_str(self.rule),
-            json_str(&self.path),
-            self.line,
-            json_str(self.text.trim())
-        )
-    }
-}
-
-/// Render findings as a JSON array (machine-readable `--format json`).
-pub fn render_json(findings: &[Finding]) -> String {
-    let mut out = String::from("[");
-    for (i, f) in findings.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push('\n');
-        out.push_str("  ");
-        out.push_str(&f.json());
-    }
-    out.push_str(if findings.is_empty() { "]" } else { "\n]" });
-    out
-}
-
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
+use crate::report::Finding;
+use crate::SourceTree;
 
 /// Files where `.unwrap()` / `.expect(` would panic inside a protocol
 /// dispatcher/handler thread (or while decoding a wire message another
 /// rank's retry loop will resend). Also the scope of
 /// `no-atomic-in-protocol`.
-const PROTOCOL_PATHS: &[&str] = &[
+pub(crate) const PROTOCOL_PATHS: &[&str] = &[
     "crates/mpi/src/fabric.rs",
     "crates/core/src/db.rs",
     "crates/core/src/runtime.rs",
@@ -118,7 +59,7 @@ const PROTOCOL_PATHS: &[&str] = &[
 
 /// Recovery-path files that must tolerate arbitrary crash debris: a panic
 /// here strands the peer ranks at the next collective.
-const RECOVERY_PATHS: &[&str] = &["crates/core/src/ckpt.rs"];
+pub(crate) const RECOVERY_PATHS: &[&str] = &["crates/core/src/ckpt.rs"];
 
 /// Path prefixes exempt from `atomic-ordering-justified`. Kept empty on
 /// purpose: every Relaxed/SeqCst in the tree carries its argument. The
@@ -126,47 +67,21 @@ const RECOVERY_PATHS: &[&str] = &["crates/core/src/ckpt.rs"];
 /// weakening the rule for first-party code.
 const ORDERING_ALLOWLIST: &[&str] = &[];
 
-/// Run every rule over all `.rs` files under `root`; returns the findings.
-pub fn run_lint(root: &Path) -> Vec<Finding> {
-    let mut files = Vec::new();
-    collect_rs_files(root, root, &mut files);
-    files.sort();
+/// Run every token rule over all files of `tree`; returns the findings.
+pub fn run_rules(tree: &SourceTree) -> Vec<Finding> {
     let mut findings = Vec::new();
-    for rel in &files {
-        let Ok(source) = fs::read_to_string(root.join(rel)) else { continue };
-        let rel_str = rel.to_string_lossy().replace('\\', "/");
-        lint_file(&rel_str, &source, &mut findings);
+    for f in &tree.files {
+        lint_file(&f.rel, &f.text, &mut findings);
     }
     findings
 }
 
-/// Recursively gather `.rs` files, paths relative to `root`. Skips build
-/// output, VCS metadata, lint fixtures, and the `xtask` crate itself (its
-/// source spells out the patterns it searches for).
-fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = fs::read_dir(dir) else { return };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if path.is_dir() {
-            if matches!(name.as_ref(), "target" | ".git" | "fixtures" | "xtask") {
-                continue;
-            }
-            collect_rs_files(root, &path, out);
-        } else if name.ends_with(".rs") {
-            if let Ok(rel) = path.strip_prefix(root) {
-                out.push(rel.to_path_buf());
-            }
-        }
-    }
-}
-
-/// Per-file lint context: lexed streams plus line-indexed lookups.
-struct FileCtx<'a> {
-    rel: &'a str,
+/// Per-file lint context: lexed streams plus line-indexed lookups. Shared
+/// with the interprocedural analyses for waiver / test-module lookups.
+pub(crate) struct FileCtx<'a> {
+    pub(crate) rel: &'a str,
     lines: Vec<&'a str>,
-    lx: Lexed,
+    pub(crate) lx: Lexed,
     /// Line of the first `#[cfg(test)]` token sequence, if any; everything
     /// from that line on is test code (matches the repo convention of one
     /// trailing test module per file).
@@ -174,28 +89,29 @@ struct FileCtx<'a> {
 }
 
 impl<'a> FileCtx<'a> {
-    fn new(rel: &'a str, source: &'a str) -> Self {
+    pub(crate) fn new(rel: &'a str, source: &'a str) -> Self {
         let lx = lex(source);
         let tests_from =
             find_seq(&lx.tokens, &["#", "[", "cfg", "(", "test"]).map(|i| lx.tokens[i].line);
         Self { rel, lines: source.lines().collect(), lx, tests_from }
     }
 
-    fn in_tests(&self, line: usize) -> bool {
+    pub(crate) fn in_tests(&self, line: usize) -> bool {
         self.tests_from.is_some_and(|t| line >= t)
     }
 
-    fn line_text(&self, line: usize) -> String {
+    pub(crate) fn line_text(&self, line: usize) -> String {
         self.lines.get(line - 1).copied().unwrap_or("").to_string()
     }
 
     /// Waived if any comment on `line` carries `lint:allow(<rule>)`.
-    fn allowed(&self, line: usize, rule: &str) -> bool {
+    pub(crate) fn allowed(&self, line: usize, rule: &str) -> bool {
         let needle = format!("lint:allow({rule})");
         self.lx.comments_on(line).any(|c| c.text.contains(&needle))
     }
 
-    /// Like [`allowed`], but anywhere in the file (for whole-file rules).
+    /// Like [`Self::allowed`], but anywhere in the file (for whole-file
+    /// rules).
     fn allowed_anywhere(&self, rule: &str) -> bool {
         let needle = format!("lint:allow({rule})");
         self.lx.comments.iter().any(|c| c.text.contains(&needle))
@@ -252,18 +168,19 @@ impl<'a> FileCtx<'a> {
             path: self.rel.to_string(),
             line,
             text: self.line_text(line),
+            trace: vec![],
         });
     }
 }
 
 /// Match `pat` against token texts starting at `i` (idents and puncts by
 /// exact text; `::` must be written as two `:` entries).
-fn seq_at(toks: &[Tok], i: usize, pat: &[&str]) -> bool {
+pub(crate) fn seq_at(toks: &[Tok], i: usize, pat: &[&str]) -> bool {
     i + pat.len() <= toks.len() && pat.iter().zip(&toks[i..]).all(|(p, t)| t.text == *p)
 }
 
 /// First index where `pat` matches.
-fn find_seq(toks: &[Tok], pat: &[&str]) -> Option<usize> {
+pub(crate) fn find_seq(toks: &[Tok], pat: &[&str]) -> Option<usize> {
     (0..toks.len().saturating_sub(pat.len() - 1)).find(|&i| seq_at(toks, i, pat))
 }
 
@@ -386,6 +303,7 @@ fn lint_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
             path: rel.into(),
             line: first_begin_line.max(1),
             text: format!("{begin_count} span .begin( calls vs {end_count} .end( calls"),
+            trace: vec![],
         });
     }
 }
@@ -454,13 +372,19 @@ fn scan_group(toks: &[Tok], open: usize, hit: &dyn Fn(&str) -> bool) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::run_lint;
+    use std::path::{Path, PathBuf};
 
     fn fixture_root() -> PathBuf {
         Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/tree")
     }
 
     fn workspace_root() -> PathBuf {
-        Path::new(env!("CARGO_MANIFEST_DIR")).parent().expect("xtask has a parent").to_path_buf()
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("crates/lint has a workspace root two levels up")
+            .to_path_buf()
     }
 
     fn rules_hit(findings: &[Finding]) -> Vec<&'static str> {
@@ -568,22 +492,6 @@ mod tests {
         assert_eq!(hits[0].path, "crates/core/src/runtime.rs");
         // atomics.rs names std::sync::atomic too but is not a protocol
         // file, so the only hit is runtime.rs.
-    }
-
-    #[test]
-    fn json_format_is_stable() {
-        let findings = vec![Finding {
-            rule: "std-sync-lock",
-            path: "crates/x/src/lib.rs".into(),
-            line: 3,
-            text: "    use std::sync::Mutex; // \"quoted\"".into(),
-        }];
-        assert_eq!(
-            render_json(&findings),
-            "[\n  {\"rule\":\"std-sync-lock\",\"file\":\"crates/x/src/lib.rs\",\"line\":3,\
-             \"snippet\":\"use std::sync::Mutex; // \\\"quoted\\\"\"}\n]"
-        );
-        assert_eq!(render_json(&[]), "[]");
     }
 
     #[test]

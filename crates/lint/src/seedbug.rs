@@ -1,0 +1,293 @@
+//! `--seed-bug`: plant known violations into an in-memory copy of the
+//! workspace and demand that the analyses convict every one of them.
+//!
+//! This is the same N/N-convicted self-test pattern the modelcheck, chaos,
+//! and perfline planes use: a checker that has never caught a planted bug
+//! is indistinguishable from a checker that is broken. Patches are
+//! anchored to exact source text and fail loudly when the anchor drifts,
+//! so a refactor cannot silently turn a seed into a no-op.
+//!
+//! The checkout is never modified — seeds patch a clone of the
+//! [`SourceTree`] snapshot.
+
+use std::path::Path;
+
+use crate::report::Finding;
+use crate::{analysis, rules, SourceTree};
+
+/// One planted violation: anchored patches plus the conviction predicate.
+pub struct Seed {
+    pub id: &'static str,
+    pub description: &'static str,
+    /// (relative path, anchor text, replacement text), applied in order.
+    pub patches: &'static [(&'static str, &'static str, &'static str)],
+    /// Rule that must convict.
+    pub rule: &'static str,
+    /// Substring that must appear in the convicting finding's text.
+    pub expect: &'static str,
+    /// File the convicting finding must point into.
+    pub file: &'static str,
+}
+
+pub const SEEDS: &[Seed] = &[
+    Seed {
+        id: "panic-direct-entry",
+        description: "unwrap planted directly in rpc_with_retry (protocol entry fn)",
+        patches: &[(
+            "crates/core/src/runtime.rs",
+            "ctx.comm_req.send(owner, req_tag, encode(seq));",
+            "ctx.comm_req.send(owner, req_tag, encode(seq)); let _seed = None::<u32>.unwrap();",
+        )],
+        rule: "panic-path",
+        expect: "_seed",
+        file: "crates/core/src/runtime.rs",
+    },
+    Seed {
+        id: "panic-transitive-sstable",
+        description: "unwrap planted deep in SstReader::read_record, reachable via get path",
+        patches: &[(
+            "crates/core/src/sstable.rs",
+            "let tomb = header[8] != 0;",
+            "let tomb = *header.get(8).unwrap() != 0;",
+        )],
+        rule: "panic-path",
+        expect: "header.get(8)",
+        file: "crates/core/src/sstable.rs",
+    },
+    Seed {
+        id: "panic-macro-recovery",
+        description: "panic! planted in ckpt::checkpoint (recovery entry fn)",
+        patches: &[(
+            "crates/core/src/ckpt.rs",
+            "let dest = dest.trim_matches('/').to_string();",
+            "let dest = dest.trim_matches('/').to_string(); \
+             if dest.len() > 65536 { panic!(\"checkpoint path overflow\") }",
+        )],
+        rule: "panic-path",
+        expect: "panic-family macro",
+        file: "crates/core/src/ckpt.rs",
+    },
+    Seed {
+        id: "blocking-direct-barrier",
+        description: "collective barrier planted under db.sync mutex guard",
+        patches: &[(
+            "crates/core/src/db.rs",
+            "\n    sync.pending_flushes -= 1;",
+            "\n    ctx.comm_ctl.barrier();\n    sync.pending_flushes -= 1;",
+        )],
+        rule: "blocking-under-lock",
+        expect: "guard `sync`",
+        file: "crates/core/src/db.rs",
+    },
+    Seed {
+        id: "blocking-transitive-merge",
+        description: "SSTable merge (charged NVM I/O, many hops above NvmStore::io) \
+                      planted under the ssts write guard",
+        patches: &[(
+            "crates/core/src/db.rs",
+            "        let mut ssts = db.ssts.write();\n        ssts.clear();",
+            "        let mut ssts = db.ssts.write();\n        let _ = sstable::merge_at(&store, \
+             &snapshot, &base, new_ssid, true, stamp);\n        ssts.clear();",
+        )],
+        rule: "blocking-under-lock",
+        expect: "guard `ssts`",
+        file: "crates/core/src/db.rs",
+    },
+    Seed {
+        id: "tag-sent-unhandled",
+        description: "ZOMBIE tag declared and sent, but no handler arm awaits it",
+        patches: &[
+            (
+                "crates/core/src/msg.rs",
+                "pub const MIGRATE: u32 = 1;",
+                "pub const MIGRATE: u32 = 1;\n    pub const ZOMBIE: u32 = 90;",
+            ),
+            (
+                "crates/core/src/runtime.rs",
+                "ctx.comm_rep.send_at(src, tags::PUT_ACK, msg::encode_ack(seq), done);",
+                "ctx.comm_rep.send_at(src, tags::PUT_ACK, msg::encode_ack(seq), done);\n    \
+                 ctx.comm_rep.send_at(src, tags::ZOMBIE, msg::encode_ack(seq), done);",
+            ),
+        ],
+        rule: "tag-matrix",
+        expect: "tag `ZOMBIE`",
+        file: "crates/core/src/runtime.rs",
+    },
+    Seed {
+        id: "tag-handled-never-sent",
+        description: "GHOST tag declared with a handler arm, but no send site exists",
+        patches: &[
+            (
+                "crates/core/src/msg.rs",
+                "pub const SHUTDOWN: u32 = 5;",
+                "pub const SHUTDOWN: u32 = 5;\n    pub const GHOST: u32 = 91;",
+            ),
+            (
+                "crates/core/src/runtime.rs",
+                "tags::SHUTDOWN => return,",
+                "tags::SHUTDOWN => return,\n            tags::GHOST => return,",
+            ),
+        ],
+        rule: "tag-matrix",
+        expect: "tag `GHOST`",
+        file: "crates/core/src/runtime.rs",
+    },
+    Seed {
+        id: "tag-duplicate-value",
+        description: "ALIAS_PUT declared with PUT_SYNC's value — monitor channels would alias",
+        patches: &[(
+            "crates/core/src/msg.rs",
+            "pub const PUT_SYNC: u32 = 2;",
+            "pub const PUT_SYNC: u32 = 2;\n    pub const ALIAS_PUT: u32 = 2;",
+        )],
+        rule: "tag-matrix",
+        expect: "duplicate tag value 2",
+        file: "crates/core/src/msg.rs",
+    },
+    Seed {
+        id: "atomic-unpaired-release",
+        description: "queue slot seq Acquire loads weakened to Relaxed, orphaning the \
+                      Release publication stores",
+        patches: &[
+            // Both loads are textually identical; `patch` replaces the
+            // first remaining occurrence, so applying twice hits both.
+            (
+                "crates/core/src/queue.rs",
+                "let seq = slot.seq.load(Ordering::Acquire);",
+                "let seq = slot.seq.load(Ordering::Relaxed);",
+            ),
+            (
+                "crates/core/src/queue.rs",
+                "let seq = slot.seq.load(Ordering::Acquire);",
+                "let seq = slot.seq.load(Ordering::Relaxed);",
+            ),
+        ],
+        rule: "atomic-pairing",
+        expect: "no Acquire-side load of `seq`",
+        file: "crates/core/src/queue.rs",
+    },
+    Seed {
+        id: "atomic-acquire-no-release",
+        description: "Clock's AcqRel RMWs weakened to Relaxed — now() acquires from nothing",
+        patches: &[
+            (
+                "crates/simtime/src/clock.rs",
+                "self.now.fetch_add(dur, Ordering::AcqRel) + dur",
+                "self.now.fetch_add(dur, Ordering::Relaxed) + dur",
+            ),
+            (
+                "crates/simtime/src/clock.rs",
+                "self.now.fetch_max(t, Ordering::AcqRel).max(t)",
+                "self.now.fetch_max(t, Ordering::Relaxed).max(t)",
+            ),
+        ],
+        rule: "atomic-pairing",
+        expect: "every store to `now` is Relaxed",
+        file: "crates/simtime/src/clock.rs",
+    },
+    Seed {
+        id: "atomic-ptr-relaxed",
+        description: "AtomicPtr published with Relaxed ordering",
+        patches: &[(
+            "crates/core/src/runtime.rs",
+            "self.inner.comm_sig.send(r, signum, bytes::Bytes::new());",
+            "self.inner.comm_sig.send(r, signum, bytes::Bytes::new()); \
+             let hot: AtomicPtr<u8> = AtomicPtr::new(std::ptr::null_mut()); \
+             hot.store(sig_ptr, Ordering::Relaxed);",
+        )],
+        rule: "atomic-pairing",
+        expect: "AtomicPtr field `hot`",
+        file: "crates/core/src/runtime.rs",
+    },
+];
+
+/// Outcome of one seed run.
+pub struct Conviction {
+    pub id: &'static str,
+    pub convicted: bool,
+    pub detail: String,
+}
+
+/// Plant one seed into a clone of `base` and run the full pass (token
+/// rules + deep analyses) over the patched tree.
+pub fn run_one(base: &SourceTree, seed: &Seed) -> Result<Conviction, String> {
+    let mut tree = base.clone();
+    for (rel, anchor, replacement) in seed.patches {
+        tree.patch(rel, anchor, replacement).map_err(|e| format!("seed `{}`: {e}", seed.id))?;
+    }
+    let mut findings = rules::run_rules(&tree);
+    findings.extend(analysis::run_deep(&tree));
+    let hit: Option<&Finding> = findings
+        .iter()
+        .find(|f| f.rule == seed.rule && f.path == seed.file && f.text.contains(seed.expect));
+    Ok(match hit {
+        Some(f) => Conviction { id: seed.id, convicted: true, detail: f.render() },
+        None => Conviction {
+            id: seed.id,
+            convicted: false,
+            detail: format!(
+                "expected a `{}` finding in {} containing {:?}; got {} finding(s) total",
+                seed.rule,
+                seed.file,
+                seed.expect,
+                findings.len()
+            ),
+        },
+    })
+}
+
+/// Run `which` (a seed id, or `all`) against the workspace at `root`.
+pub fn run(root: &Path, which: &str) -> Result<Vec<Conviction>, String> {
+    let base = SourceTree::load(root);
+    if base.files.is_empty() {
+        return Err(format!("no sources under {}", root.display()));
+    }
+    let selected: Vec<&Seed> = if which == "all" {
+        SEEDS.iter().collect()
+    } else {
+        let s: Vec<&Seed> = SEEDS.iter().filter(|s| s.id == which).collect();
+        if s.is_empty() {
+            return Err(format!(
+                "unknown seed `{which}` (have: {})",
+                SEEDS.iter().map(|s| s.id).collect::<Vec<_>>().join(", ")
+            ));
+        }
+        s
+    };
+    selected.iter().map(|s| run_one(&base, s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    /// Every planted violation must be convicted by its analysis — and the
+    /// anchors must still match the live sources (drift fails loudly).
+    #[test]
+    fn all_seeds_convict() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap();
+        let convictions = run(root, "all").expect("seed patches apply");
+        let missed: Vec<String> = convictions
+            .iter()
+            .filter(|c| !c.convicted)
+            .map(|c| format!("{}: {}", c.id, c.detail))
+            .collect();
+        assert!(
+            missed.is_empty(),
+            "{}/{} seeds convicted; missed:\n{}",
+            convictions.len() - missed.len(),
+            convictions.len(),
+            missed.join("\n")
+        );
+    }
+
+    /// Seed ids are unique — `--seed-bug <id>` must be unambiguous.
+    #[test]
+    fn seed_ids_unique() {
+        let mut ids: Vec<&str> = SEEDS.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), SEEDS.len());
+    }
+}

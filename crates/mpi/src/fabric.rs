@@ -548,7 +548,7 @@ impl Fabric {
                         // the confirmed cycle still need to see this edge to
                         // diagnose the same cycle and escape their waits.
                         drop(q);
-                        panic!("papyrus-sanity[wait-cycle]: {detail}");
+                        panic!("papyrus-sanity[wait-cycle]: {detail}"); // lint:allow(panic-path): deliberate fail-stop on a confirmed deadlock cycle
                     }
                 }
             } else {

@@ -152,7 +152,7 @@ impl Backend for DiskBackend {
         if let Some(parent) = p.parent() {
             let _ = fs::create_dir_all(parent);
         }
-        fs::write(&p, &data).expect("disk backend write failed");
+        fs::write(&p, &data).expect("disk backend write failed"); // lint:allow(panic-path): host-FS write failure is unrecoverable by design
     }
 
     fn append(&self, path: &str, data: &[u8]) {

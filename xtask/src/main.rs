@@ -1,17 +1,22 @@
 //! Repo automation.
 //!
 //! ```text
-//! cargo xtask lint [--root PATH] [--format human|json]
+//! cargo xtask lint [--root PATH] [--format human|json|sarif] [--deep]
+//!                  [--seed-bug all|ID] [--out FILE]
 //! cargo xtask modelcheck [--seed-bug all] [--filter NAME]
 //! cargo xtask crashcheck [crashcheck args...]
 //! cargo xtask chaos [chaos args...]
 //! cargo xtask perfline [perfline args...]
 //! ```
 //!
-//! `lint` is a token-based static pass over the workspace sources
-//! enforcing repo-specific rules that rustc/clippy cannot express — see
-//! `lint.rs` for the rule catalogue. `--format json` emits machine-readable
-//! findings (`rule`/`file`/`line`/`snippet`) for editor and CI tooling.
+//! `lint` is a thin driver over the `papyrus-lint` crate: the eight
+//! token rules always run; `--deep` adds the four interprocedural
+//! analyses (panic-reachability, blocking-under-lock, tag matrix, atomic
+//! pairing); `--seed-bug` plants known violations into an in-memory copy
+//! of the tree and demands every one is convicted. `--format json` keeps
+//! the historical machine-readable shape; `--format sarif` emits SARIF
+//! 2.1.0 for code-scanning upload. `--out` writes the report to a file
+//! (stdout keeps the human summary).
 //!
 //! `modelcheck` builds and runs the schedule-exploration models under
 //! `RUSTFLAGS="--cfg modelcheck"` — see `modelcheck.rs`. CI runs both the
@@ -32,58 +37,17 @@
 //! `cargo xtask perfline --help`. CI runs the regression gate against the
 //! committed `BENCH_baseline.json` plus the `--seed-bug all` self-test.
 
-mod lexer;
-mod lint;
 mod modelcheck;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use papyrus_lint::{render_json, render_sarif, SourceTree};
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => {
-            let mut root: Option<PathBuf> = None;
-            let mut format = Format::Human;
-            let mut it = args.iter().skip(1);
-            while let Some(a) = it.next() {
-                match a.as_str() {
-                    "--root" => root = it.next().map(PathBuf::from),
-                    "--format" => match it.next().map(String::as_str) {
-                        Some("human") => format = Format::Human,
-                        Some("json") => format = Format::Json,
-                        other => {
-                            eprintln!("xtask lint: --format takes human|json, got {other:?}");
-                            return ExitCode::FAILURE;
-                        }
-                    },
-                    other => {
-                        eprintln!("xtask lint: unknown argument `{other}`");
-                        return ExitCode::FAILURE;
-                    }
-                }
-            }
-            let root = root.unwrap_or_else(workspace_root);
-            let findings = lint::run_lint(&root);
-            match format {
-                Format::Json => println!("{}", lint::render_json(&findings)),
-                Format::Human => {
-                    for f in &findings {
-                        println!("{}", f.render());
-                    }
-                    if findings.is_empty() {
-                        println!("xtask lint: clean");
-                    } else {
-                        println!("xtask lint: {} finding(s)", findings.len());
-                    }
-                }
-            }
-            if findings.is_empty() {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::FAILURE
-            }
-        }
+        Some("lint") => run_lint_cmd(&args[1..]),
         Some("modelcheck") => modelcheck::run(&args[1..]),
         Some("crashcheck") => {
             // Release build: the sweep spins up thousands of recovery
@@ -102,7 +66,8 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: cargo xtask lint [--root PATH] [--format human|json] \
+                "usage: cargo xtask lint [--root PATH] [--format human|json|sarif] [--deep] \
+                 [--seed-bug all|ID] [--out FILE] \
                  | cargo xtask modelcheck [--seed-bug all] [--filter NAME] \
                  | cargo xtask crashcheck [args...] \
                  | cargo xtask chaos [args...] | cargo xtask perfline [args...]"
@@ -115,6 +80,107 @@ fn main() -> ExitCode {
 enum Format {
     Human,
     Json,
+    Sarif,
+}
+
+fn run_lint_cmd(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut format = Format::Human;
+    let mut deep = false;
+    let mut seed_bug: Option<String> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => root = it.next().map(PathBuf::from),
+            "--deep" => deep = true,
+            "--seed-bug" => seed_bug = it.next().cloned(),
+            "--out" => out = it.next().map(PathBuf::from),
+            "--format" => match it.next().map(String::as_str) {
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
+                other => {
+                    eprintln!("xtask lint: --format takes human|json|sarif, got {other:?}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("xtask lint: unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let root = root.unwrap_or_else(workspace_root);
+
+    if let Some(which) = seed_bug {
+        // Self-test: every planted violation must be convicted.
+        return match papyrus_lint::seedbug::run(&root, &which) {
+            Ok(convictions) => {
+                let total = convictions.len();
+                let hit = convictions.iter().filter(|c| c.convicted).count();
+                for c in &convictions {
+                    if c.convicted {
+                        println!("xtask lint: seed {} CONVICTED\n  {}", c.id, c.detail);
+                    } else {
+                        println!("xtask lint: seed {} MISSED — {}", c.id, c.detail);
+                    }
+                }
+                println!("xtask lint: {hit}/{total} seeded violations convicted");
+                if hit == total {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("xtask lint: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let tree = SourceTree::load(&root);
+    let mut findings = papyrus_lint::rules::run_rules(&tree);
+    if deep {
+        findings.extend(papyrus_lint::run_deep(&tree));
+        findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    }
+    let report = match format {
+        Format::Json => Some(render_json(&findings)),
+        Format::Sarif => Some(render_sarif(&findings)),
+        Format::Human => None,
+    };
+    match (&out, report) {
+        (Some(path), Some(doc)) => {
+            if let Err(e) = std::fs::write(path, doc + "\n") {
+                eprintln!("xtask lint: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "xtask lint: {} finding(s){} -> {}",
+                findings.len(),
+                if deep { " (deep)" } else { "" },
+                path.display()
+            );
+        }
+        (None, Some(doc)) => println!("{doc}"),
+        (_, None) => {
+            for f in &findings {
+                println!("{}", f.render());
+            }
+            if findings.is_empty() {
+                println!("xtask lint: clean{}", if deep { " (deep)" } else { "" });
+            } else {
+                println!("xtask lint: {} finding(s)", findings.len());
+            }
+        }
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 /// `cargo run --release -p <pkg> --bin <bin> -- <args...>`, exit status

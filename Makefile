@@ -1,6 +1,6 @@
 # Convenience targets mirroring what CI runs.
 
-.PHONY: build test fmt clippy lint sanity modelcheck crashcheck chaos perfline verify trace clean
+.PHONY: build test fmt clippy lint sanity modelcheck crashcheck chaos perfline serve verify trace clean
 
 build:
 	cargo build --release --workspace
@@ -63,8 +63,16 @@ perfline:
 	cargo xtask perfline --check BENCH_baseline.json
 	cargo xtask perfline --seed-bug all
 
+# Serve-plane gate: the 4-rank, 10k-connection RESP load test (run twice,
+# byte-identical reports required, group commit must be visibly batching),
+# then the seeded self-test (ack-before-fence must be convicted by the
+# durability probe, dropped-write by the read-your-writes sweep).
+serve:
+	cargo xtask serve
+	cargo xtask serve --seed-bug all
+
 # The tier-1 gate: everything CI requires to pass, in one command.
-verify: build test fmt clippy lint modelcheck crashcheck chaos perfline
+verify: build test fmt clippy lint modelcheck crashcheck chaos perfline serve
 	@echo "verify: OK"
 
 # Quick observability smoke: writes trace.json (chrome://tracing / Perfetto).

@@ -1845,6 +1845,19 @@ impl Db {
     pub fn memtable_bytes(&self) -> u64 {
         self.inner.local.read().bytes()
     }
+
+    /// Whether `key` is still staged on this rank awaiting migration —
+    /// in the mutable remote MemTable or a frozen immutable one
+    /// (diagnostics). The serve plane's durability oracle asserts this is
+    /// `false` at write-ack time: a fenced record has left the staging
+    /// area and been ingested by its owner (the FIFO-channel argument
+    /// behind `BARRIER_MARK` then extends ingestion to durability).
+    pub fn staged_remote_contains(&self, key: &[u8]) -> bool {
+        if self.inner.remote.lock().get(key).is_some() {
+            return true;
+        }
+        self.inner.imm_remote.read().iter().any(|m| m.get(key).is_some())
+    }
 }
 
 /// `papyruskv_restart` lives on [`Context`] since it creates the database.

@@ -1,0 +1,28 @@
+// Seeded fixture: the serve-codec negative surface. This file is a
+// protocol path (client bytes land here), yet every tempting panic site
+// below is exempt — the sweep must stay completely silent on it.
+
+/// Guarded incremental decode: `get` + `match` instead of raw indexing
+/// or `unwrap` — the panic-free idiom the real codec uses.
+pub fn serve_peek_len(buf: &[u8]) -> Option<usize> {
+    match buf.first() {
+        Some(b'$') => buf.iter().position(|&b| b == b'\r'),
+        _ => None,
+    }
+}
+
+/// Waived site: justified because the length was checked one line up.
+pub fn serve_take_header(buf: &[u8]) -> &[u8] {
+    if buf.len() < 4 {
+        return buf;
+    }
+    buf.get(..4).expect("length checked above") // lint:allow(protocol-unwrap)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn serve_unwrap_in_tests_is_fine() {
+        assert_eq!(super::serve_peek_len(b"$3\r\nfoo\r\n").unwrap(), 2);
+    }
+}

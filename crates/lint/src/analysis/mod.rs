@@ -26,6 +26,7 @@ const UNIVERSE: &[&str] = &[
     "crates/sanity/",
     "crates/telemetry/",
     "crates/faultinject/",
+    "crates/serve/",
 ];
 
 pub fn in_universe(rel: &str) -> bool {

@@ -23,8 +23,19 @@ use crate::rules::seq_at;
 const RULE: &str = "panic-path";
 
 /// Entry-point files: their `pub` fns seed the reachability sweep.
-const ENTRY_PATHS: &[&str] =
-    &["crates/core/src/runtime.rs", "crates/core/src/msg.rs", "crates/core/src/ckpt.rs"];
+///
+/// The serve codec files are entries too: every byte they parse arrives
+/// from an untrusted client socket, so a reachable panic is a remote
+/// crash. (`server.rs` is deliberately not an entry — it drives `Db`,
+/// whose internal `unwrap`s on poisoned locks are the engine's own
+/// invariant enforcement, audited separately.)
+const ENTRY_PATHS: &[&str] = &[
+    "crates/core/src/runtime.rs",
+    "crates/core/src/msg.rs",
+    "crates/core/src/ckpt.rs",
+    "crates/serve/src/resp.rs",
+    "crates/serve/src/cmd.rs",
+];
 
 pub fn run(ws: &Ws, cg: &CallGraph) -> Vec<Finding> {
     let entries: Vec<usize> = ws

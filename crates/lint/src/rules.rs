@@ -55,6 +55,10 @@ pub(crate) const PROTOCOL_PATHS: &[&str] = &[
     "crates/core/src/db.rs",
     "crates/core/src/runtime.rs",
     "crates/core/src/msg.rs",
+    // The serve codec decodes bytes straight off client sockets: a panic
+    // there takes down the whole rank, not just one connection.
+    "crates/serve/src/resp.rs",
+    "crates/serve/src/cmd.rs",
 ];
 
 /// Recovery-path files that must tolerate arbitrary crash debris: a panic
@@ -447,6 +451,20 @@ mod tests {
         assert!(findings
             .iter()
             .any(|f| f.rule == "recovery-unwrap" && f.path == "crates/core/src/ckpt.rs"));
+    }
+
+    /// The serve codec is a protocol path, but its panic-free decode idiom
+    /// (`get` + `match`), its waived length-checked `.expect(`, and its
+    /// test-module `.unwrap()` are all exempt: the fixture file must
+    /// produce zero findings of any rule.
+    #[test]
+    fn serve_codec_negatives_stay_quiet() {
+        let findings = run_lint(&fixture_root());
+        assert!(
+            !findings.iter().any(|f| f.path == "crates/serve/src/resp.rs"),
+            "serve codec negative fixture tripped a rule: {:#?}",
+            findings
+        );
     }
 
     /// The false-positive surface the regex generation had: banned names in

@@ -287,6 +287,11 @@ fn main() -> ExitCode {
     let sha = git_short_sha(&root);
     println!("# perfline: {} ({} cells, git {sha})", cfg.label, suite_cells(&cfg));
     let mut snap = run_suite(&cfg);
+    // Serve-plane rows ride the same snapshot and gate. They are exact
+    // virtual-time numbers (same seed ⇒ same bytes), so one run suffices —
+    // no repeat envelope.
+    println!("# serve rows: RESP front end at reduced sizing...");
+    snap.workloads.extend(papyrus_serve::perf_rows(cfg.seed));
     snap.git_sha = sha.clone();
     print_summary(&snap);
 

@@ -551,9 +551,22 @@ mod tests {
         cfg.ops_per_rank = 64;
         cfg.cell_ops_target = 0;
         cfg.vallen = 256;
-        let clean = run_cell(&cfg, papyrus_bench::workload::MIX_C, KeyDist::Uniform, 2);
+        // Least-contended envelope over 3 runs, exactly as the suite
+        // measures cells: a single run's qps carries enough scheduler
+        // noise on a loaded host to flake the 12% margin below.
+        let cell = |cfg: &SuiteCfg| {
+            let mut row = run_cell(cfg, papyrus_bench::workload::MIX_C, KeyDist::Uniform, 2);
+            for _ in 1..3 {
+                row = envelope(
+                    row,
+                    run_cell(cfg, papyrus_bench::workload::MIX_C, KeyDist::Uniform, 2),
+                );
+            }
+            row
+        };
+        let clean = cell(&cfg);
         cfg.seed_bug = Some(SeedBug::Throughput);
-        let bugged = run_cell(&cfg, papyrus_bench::workload::MIX_C, KeyDist::Uniform, 2);
+        let bugged = cell(&cfg);
         assert!(
             bugged.qps < clean.qps * 0.88,
             "drain must slow QPS by >12% ({} vs {})",

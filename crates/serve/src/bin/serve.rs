@@ -1,0 +1,222 @@
+//! `cargo xtask serve` — the serve-plane driver and seeded self-test.
+//!
+//! ```text
+//! serve [--ranks N] [--conns N] [--pipeline N] [--bursts N]
+//!       [--duration-ms N] [--keys N] [--vallen N]
+//!       [--mix read_heavy|write_heavy|balanced] [--skew uniform|zipfian]
+//!       [--seed N] [--quick] [--no-repeat] [--telemetry PATH]
+//!       [--seed-bug all|ack-before-fence|dropped-write]
+//! ```
+//!
+//! The default run is the acceptance gate: a 4-rank world serving 10k
+//! simulated connections per rank with pipelined GET/SET mixes. It runs
+//! the world TWICE and demands byte-identical canonical reports (same
+//! seed ⇒ same virtual-time numbers), clean oracles, and a group-commit
+//! batch-size mean > 1 — group commit must be measurably batching, not
+//! degenerating to one fence per write.
+//!
+//! `--seed-bug` plants a known defect and demands its oracle convicts:
+//! `ack-before-fence` must be caught by the durability probe,
+//! `dropped-write` by the read-your-writes sweep. CI runs `--seed-bug
+//! all` (2/2 convictions required) alongside the clean gate.
+
+use std::process::ExitCode;
+
+use papyrus_serve::{run_serve, LoadMix, LoadSkew, SeedBug, ServeCfg};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ServeCfg::full();
+    let mut repeat = true;
+    let mut telemetry: Option<String> = None;
+    let mut seed_bug_arg: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next().map(String::as_str).map(str::to_string).ok_or_else(|| {
+                eprintln!("serve: {name} needs a value");
+            })
+        };
+        match a.as_str() {
+            "--ranks" => match val("--ranks").map(|v| v.parse()) {
+                Ok(Ok(n)) if n > 0 => cfg.ranks = n,
+                _ => return usage(),
+            },
+            "--conns" => match val("--conns").map(|v| v.parse()) {
+                Ok(Ok(n)) if n > 0 => cfg.conns_per_rank = n,
+                _ => return usage(),
+            },
+            "--pipeline" => match val("--pipeline").map(|v| v.parse()) {
+                Ok(Ok(n)) if n > 0 => cfg.pipeline = n,
+                _ => return usage(),
+            },
+            "--bursts" => match val("--bursts").map(|v| v.parse()) {
+                Ok(Ok(n)) if n > 0 => cfg.bursts = n,
+                _ => return usage(),
+            },
+            "--duration-ms" => match val("--duration-ms").map(|v| v.parse()) {
+                Ok(Ok(n)) if n > 0 => cfg.duration_ms = n,
+                _ => return usage(),
+            },
+            "--keys" => match val("--keys").map(|v| v.parse()) {
+                Ok(Ok(n)) if n > 0 => cfg.keys_per_rank = n,
+                _ => return usage(),
+            },
+            "--vallen" => match val("--vallen").map(|v| v.parse()) {
+                Ok(Ok(n)) if n > 0 => cfg.vallen = n,
+                _ => return usage(),
+            },
+            "--seed" => match val("--seed").map(|v| v.parse()) {
+                Ok(Ok(n)) => cfg.seed = n,
+                _ => return usage(),
+            },
+            "--mix" => match val("--mix").ok().as_deref().and_then(LoadMix::parse) {
+                Some(m) => cfg.mix = m,
+                None => return usage(),
+            },
+            "--skew" => match val("--skew").ok().as_deref().and_then(LoadSkew::parse) {
+                Some(s) => cfg.skew = s,
+                None => return usage(),
+            },
+            "--quick" => {
+                let quick = ServeCfg::quick();
+                cfg.conns_per_rank = quick.conns_per_rank;
+                cfg.keys_per_rank = quick.keys_per_rank;
+                cfg.duration_ms = quick.duration_ms;
+            }
+            "--no-repeat" => repeat = false,
+            "--telemetry" => match val("--telemetry") {
+                Ok(p) => telemetry = Some(p),
+                Err(()) => return usage(),
+            },
+            "--seed-bug" => match val("--seed-bug") {
+                Ok(which) => seed_bug_arg = Some(which),
+                Err(()) => return usage(),
+            },
+            other => {
+                eprintln!("serve: unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+
+    if let Some(which) = seed_bug_arg {
+        return run_seed_bugs(&cfg, &which);
+    }
+    run_clean(&cfg, repeat, telemetry.as_deref())
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: serve [--ranks N] [--conns N] [--pipeline N] [--bursts N] [--duration-ms N] \
+         [--keys N] [--vallen N] [--mix read_heavy|write_heavy|balanced] \
+         [--skew uniform|zipfian] [--seed N] [--quick] [--no-repeat] [--telemetry PATH] \
+         [--seed-bug all|ack-before-fence|dropped-write]"
+    );
+    ExitCode::FAILURE
+}
+
+/// The clean gate: run (twice unless `--no-repeat`), demand clean
+/// oracles, visible batching, and byte-identical repeat reports.
+fn run_clean(cfg: &ServeCfg, repeat: bool, telemetry: Option<&str>) -> ExitCode {
+    println!(
+        "serve: {} ranks x {} conns, pipeline {}, {} bursts, mix {}, skew {}, seed {}",
+        cfg.ranks,
+        cfg.conns_per_rank,
+        cfg.pipeline,
+        cfg.bursts,
+        cfg.mix.label(),
+        cfg.skew.label(),
+        cfg.seed
+    );
+    let report = run_serve(cfg);
+    print!("{}", report.render());
+    if let Some(path) = telemetry {
+        let snap = papyrus_telemetry::snapshot();
+        match snap.write_chrome_trace(path) {
+            Ok(()) => println!("serve: chrome trace -> {path}"),
+            Err(e) => {
+                eprintln!("serve: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut ok = true;
+    if !report.clean() {
+        let (d, w, p) = report.violations();
+        println!("serve: FAIL — oracle violations (durability {d}, ryw {w}, protocol {p})");
+        ok = false;
+    }
+    if report.batch_mean() <= 1.0 {
+        println!(
+            "serve: FAIL — group commit not batching (batch mean {:.2} <= 1)",
+            report.batch_mean()
+        );
+        ok = false;
+    }
+    if repeat {
+        let again = run_serve(cfg);
+        if again.canonical() == report.canonical() {
+            println!("serve: determinism OK — repeat run byte-identical");
+        } else {
+            println!("serve: FAIL — repeat run diverged (same seed, different report)");
+            ok = false;
+        }
+    }
+    if ok {
+        println!("serve: PASS");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Plant each requested defect and demand the *right* oracle convicts it.
+fn run_seed_bugs(cfg: &ServeCfg, which: &str) -> ExitCode {
+    let bugs: Vec<SeedBug> = if which == "all" {
+        SeedBug::ALL.to_vec()
+    } else {
+        match SeedBug::parse(which) {
+            Some(b) => vec![b],
+            None => {
+                eprintln!("serve: unknown seed bug `{which}`");
+                return usage();
+            }
+        }
+    };
+    // Seeded runs use the reduced sizing: conviction is about the oracle
+    // firing, not about scale.
+    let quick = ServeCfg::quick();
+    let mut hit = 0;
+    let total = bugs.len();
+    for bug in bugs {
+        let cfg = ServeCfg { seed_bug: Some(bug), seed: cfg.seed, mix: cfg.mix, ..quick.clone() };
+        let report = run_serve(&cfg);
+        let (durability, ryw, _) = report.violations();
+        let convicted = match bug {
+            SeedBug::AckBeforeFence => durability > 0,
+            SeedBug::DroppedWrite => ryw > 0,
+        };
+        if convicted {
+            hit += 1;
+            println!(
+                "serve: seed {} CONVICTED\n  {}",
+                bug.label(),
+                report.violation_example.as_deref().unwrap_or("(no example captured)")
+            );
+        } else {
+            println!(
+                "serve: seed {} MISSED — oracles saw durability={durability} ryw={ryw}",
+                bug.label()
+            );
+        }
+    }
+    println!("serve: {hit}/{total} seeded defects convicted");
+    if hit == total {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

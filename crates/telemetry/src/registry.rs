@@ -265,12 +265,26 @@ impl TelemetrySnapshot {
     }
 
     /// Chrome Trace Event JSON (open in chrome://tracing or Perfetto).
+    ///
+    /// Histograms ride along as derived counter tracks
+    /// (`<name>.count` / `.p50` / `.p99`), so latency families like
+    /// `serve.req.ns` or `kv.put.ns` are visible next to the span
+    /// timeline without a separate snapshot file.
     pub fn to_chrome_trace(&self) -> String {
+        let mut counters = self.counters.clone();
+        for (pid, name, h) in &self.histograms {
+            if h.count == 0 {
+                continue;
+            }
+            counters.push((*pid, format!("{name}.count"), h.count));
+            counters.push((*pid, format!("{name}.p50"), h.quantile(0.50)));
+            counters.push((*pid, format!("{name}.p99"), h.quantile(0.99)));
+        }
         spans::to_chrome_trace(
             &self.events,
             &self.pid_names,
             &self.tid_names,
-            &self.counters,
+            &counters,
             self.dropped_events,
         )
     }

@@ -7,6 +7,7 @@
 //! cargo xtask crashcheck [crashcheck args...]
 //! cargo xtask chaos [chaos args...]
 //! cargo xtask perfline [perfline args...]
+//! cargo xtask serve [serve args...]
 //! ```
 //!
 //! `lint` is a thin driver over the `papyrus-lint` crate: the eight
@@ -36,6 +37,12 @@
 //! (`papyrus-perfline`) in release mode, forwarding its arguments — see
 //! `cargo xtask perfline --help`. CI runs the regression gate against the
 //! committed `BENCH_baseline.json` plus the `--seed-bug all` self-test.
+//!
+//! `serve` builds and runs the RESP front-end load test (`papyrus-serve`)
+//! in release mode, forwarding its arguments. The default run is the
+//! 4-rank, 10k-connection deterministic self-test (run twice,
+//! byte-identical reports required); CI also runs `--seed-bug all`
+//! (ack-before-fence and dropped-write must both be convicted).
 
 mod modelcheck;
 
@@ -59,6 +66,11 @@ fn main() -> ExitCode {
             // mode is needlessly slow for CI.
             forward_run("chaos", "papyrus-chaos", "chaos", &args[1..])
         }
+        Some("serve") => {
+            // Release build: the self-test serves 10k connections per rank
+            // twice; debug mode is needlessly slow for CI.
+            forward_run("serve", "papyrus-serve", "serve", &args[1..])
+        }
         Some("perfline") => {
             // Release build: the suite measures the engine; debug-mode
             // numbers would gate against a different codepath cost model.
@@ -70,7 +82,8 @@ fn main() -> ExitCode {
                  [--seed-bug all|ID] [--out FILE] \
                  | cargo xtask modelcheck [--seed-bug all] [--filter NAME] \
                  | cargo xtask crashcheck [args...] \
-                 | cargo xtask chaos [args...] | cargo xtask perfline [args...]"
+                 | cargo xtask chaos [args...] | cargo xtask perfline [args...] \
+                 | cargo xtask serve [args...]"
             );
             ExitCode::FAILURE
         }
